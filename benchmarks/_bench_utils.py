@@ -1,0 +1,10 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def emit(path: str, text: str) -> None:
+    """Write a rendered artefact to ``path`` and echo it to stdout."""
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    print(text)

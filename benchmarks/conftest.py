@@ -1,0 +1,58 @@
+"""Shared configuration for the benchmark harness.
+
+The benchmarks regenerate the paper's figures and tables on scaled-down
+sweeps so that the whole suite finishes in minutes on a laptop.  The scale
+knobs can be overridden through environment variables (documented in
+EXPERIMENTS.md):
+
+* ``REPRO_BENCH_SAMPLES``      — task sets per utilization point (default 8)
+* ``REPRO_BENCH_STEP``         — utilization step as a fraction of m (default 0.1)
+* ``REPRO_BENCH_VERTEX_MAX``   — maximum DAG size (default 30, paper uses 100)
+* ``REPRO_BENCH_GRID_STRIDE``  — keep every k-th scenario of the 216-scenario
+  grid for the table benchmarks (default 9 → 24 scenarios; 1 = full grid)
+
+Rendered tables and CSV series are written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment override with a default."""
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def env_float(name: str, default: float) -> float:
+    """Float environment override with a default."""
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    """Resolved benchmark scale settings."""
+    return {
+        "samples_per_point": env_int("REPRO_BENCH_SAMPLES", 8),
+        "step_fraction": env_float("REPRO_BENCH_STEP", 0.1),
+        "vertex_max": env_int("REPRO_BENCH_VERTEX_MAX", 30),
+        "grid_stride": env_int("REPRO_BENCH_GRID_STRIDE", 9),
+        "seed": env_int("REPRO_BENCH_SEED", 20200706),
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where rendered benchmark artefacts are written."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Replay the paper's Fig. 1 example schedule with the runtime simulator.
+
+Two DAG tasks share a global resource ℓ1 (hosted on processor 1) and task τi
+additionally uses a local resource ℓ2.  The simulator reproduces the protocol
+behaviours described in Sec. III-C:
+
+* the request ℛ_{j,1} locks ℓ1 at t = 1 and releases it at t = 4;
+* v_{i,2}'s request ℛ_{i,1} is issued at t = 2, waits in SQ^G, is granted at
+  t = 4 and finishes at t = 7 while v_{i,2} stays suspended;
+* v_{i,3} holds ℓ2 during [2, 4] and v_{i,4} waits until then.
+
+Run with:  python examples/paper_figure1_schedule.py
+"""
+
+from __future__ import annotations
+
+from repro.sim import DpcpPSimulator, build_figure1_system
+
+
+def main() -> None:
+    partition, behaviors = build_figure1_system()
+    taskset = partition.taskset
+
+    print("Fig. 1 system")
+    print("=============")
+    for task in taskset:
+        print(
+            f"  {task.name}: C={task.wcet:g}, L*={task.critical_path_length:g}, "
+            f"cluster={partition.processors_of(task.task_id)}"
+        )
+    print(f"  global resource l1 hosted on processor "
+          f"{partition.processor_of_resource(1)}")
+    print()
+
+    simulator = DpcpPSimulator(partition, behaviors)
+    simulator.release_job(0, 0.0)
+    simulator.release_job(1, 0.0)
+    trace = simulator.run()
+
+    print("Schedule (one column per time unit)")
+    print(trace.render_gantt(time_step=1.0))
+    print()
+
+    print("Global-resource requests")
+    for request in trace.requests:
+        task = taskset.task(request.task_id)
+        print(
+            f"  {task.name} vertex v{request.vertex + 1}: issued t={request.issue_time:g}, "
+            f"granted t={request.grant_time:g}, finished t={request.finish_time:g}"
+        )
+    print()
+
+    print("Job response times")
+    for (task_id, job_id), record in sorted(trace.jobs.items()):
+        print(
+            f"  {taskset.task(task_id).name} job {job_id}: "
+            f"response time {record.response_time:g}"
+        )
+    print()
+
+    problems = trace.check_all()
+    print(f"Protocol invariants (mutual exclusion, Lemma 1): "
+          f"{'all hold' if not problems else problems}")
+
+
+if __name__ == "__main__":
+    main()

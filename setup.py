@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+legacy editable installs (``pip install -e .``) on offline machines where
+PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Schedulability analyses: DPCP-p (EP/EN) and the baseline protocols."""
+
+from .dpcp_p import DpcpPEnTest, DpcpPEpTest, DpcpPTest
+from .fedfp import FedFpTest, federated_wcrt
+from .interfaces import (
+    SchedulabilityResult,
+    SchedulabilityTest,
+    TaskAnalysis,
+    UNBOUNDED,
+)
+from .lpp import LppTest
+from .paths import PathEnumerator, PathEnumerationResult, critical_path_only
+from .rta import ceil_div_jobs, least_fixed_point
+from .spin import SpinTest
+
+#: The protocols compared in the paper's evaluation (Sec. VII-B), in the
+#: order used by the tables.
+def default_protocols():
+    """Instantiate the protocol suite compared in the paper (Sec. VII-B)."""
+    return [DpcpPEpTest(), DpcpPEnTest(), SpinTest(), LppTest(), FedFpTest()]
+
+
+__all__ = [
+    "DpcpPEnTest",
+    "DpcpPEpTest",
+    "DpcpPTest",
+    "FedFpTest",
+    "federated_wcrt",
+    "SchedulabilityResult",
+    "SchedulabilityTest",
+    "TaskAnalysis",
+    "UNBOUNDED",
+    "LppTest",
+    "PathEnumerator",
+    "PathEnumerationResult",
+    "critical_path_only",
+    "ceil_div_jobs",
+    "least_fixed_point",
+    "SpinTest",
+    "default_protocols",
+]

@@ -1,0 +1,36 @@
+"""DPCP-p: partitioning, blocking/interference bounds, and WCRT analysis."""
+
+from .blocking import inter_task_blocking, intra_task_blocking, request_response_time
+from .context import DpcpPContext
+from .interference import (
+    agent_interference,
+    intra_task_interference,
+    intra_task_interference_en,
+    vertex_non_critical_wcet,
+)
+from .partition import WfdOutcome, partition_and_analyze, wfd_assign_resources
+from .protocol import DpcpPEnTest, DpcpPEpTest, DpcpPTest
+from .wcrt import MODE_EN, MODE_EP, analyze_taskset, path_wcrt, task_wcrt_en, task_wcrt_ep
+
+__all__ = [
+    "inter_task_blocking",
+    "intra_task_blocking",
+    "request_response_time",
+    "DpcpPContext",
+    "agent_interference",
+    "intra_task_interference",
+    "intra_task_interference_en",
+    "vertex_non_critical_wcet",
+    "WfdOutcome",
+    "partition_and_analyze",
+    "wfd_assign_resources",
+    "DpcpPEnTest",
+    "DpcpPEpTest",
+    "DpcpPTest",
+    "MODE_EN",
+    "MODE_EP",
+    "analyze_taskset",
+    "path_wcrt",
+    "task_wcrt_en",
+    "task_wcrt_ep",
+]

@@ -1,0 +1,119 @@
+"""Blocking bounds for DPCP-p (Sec. IV-B, Lemmas 2–4)."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+from ...model.task import DAGTask
+from ..rta import least_fixed_point
+from .context import DpcpPContext
+
+
+def request_response_time(
+    ctx: DpcpPContext,
+    task: DAGTask,
+    resource_id: int,
+    n_lambda: Mapping[int, int],
+    divergence_bound: Optional[float] = None,
+) -> float:
+    """Lemma 2: response time :math:`W_{i,q}` of one global-resource request.
+
+    ``n_lambda`` holds the per-resource request counts of the analysed path;
+    requests issued by vertices *not* on the path to resources co-located
+    with :math:`\\ell_q` contribute the intra-task term of Eq. (3).
+
+    Returns ``math.inf`` when the fixed point does not converge below the
+    divergence bound (the task's deadline by default).
+    """
+    if divergence_bound is None:
+        divergence_bound = task.deadline
+    own_cs = task.cs_length(resource_id)
+    co_located = ctx.co_located_resources(resource_id)
+    intra = ctx.own_offpath_cs_workload(task, co_located, n_lambda)
+    beta = ctx.beta(task, resource_id)
+    constant = own_cs + intra + beta
+
+    def recurrence(window: float) -> float:
+        return constant + ctx.gamma(task, resource_id, window)
+
+    solution = least_fixed_point(recurrence, constant, divergence_bound)
+    return solution if solution is not None else math.inf
+
+
+def inter_task_blocking(
+    ctx: DpcpPContext,
+    task: DAGTask,
+    n_lambda: Mapping[int, int],
+    response_time: float,
+    request_response_times: Optional[Mapping[int, float]] = None,
+) -> float:
+    """Lemma 3: inter-task blocking bound :math:`B_i` for the analysed path.
+
+    For every processor the bound is the minimum of
+
+    * :math:`\\varepsilon^k_i` — the per-request view: each of the path's
+      :math:`N^\\lambda_{i,q}` requests to a resource on the processor is
+      blocked by at most one lower-priority critical section plus the
+      higher-priority request workload within the request's response time, and
+    * :math:`\\zeta^k_i` — the supply view: the total request workload other
+      tasks can place on the processor's resources while the path is pending.
+
+    ``request_response_times`` may carry precomputed :math:`W_{i,q}` values
+    (keyed by resource id); missing entries are computed on demand.
+    """
+    total = 0.0
+    partition = ctx.partition
+    for processor in partition.platform.processors:
+        resources = ctx.resources_on_processor(processor)
+        if not resources:
+            continue
+        epsilon = 0.0
+        for rid in resources:
+            path_requests = n_lambda.get(rid, 0)
+            if path_requests == 0:
+                continue
+            if request_response_times is not None and rid in request_response_times:
+                window = request_response_times[rid]
+            else:
+                window = request_response_time(ctx, task, rid, n_lambda)
+            if math.isinf(window):
+                epsilon = math.inf
+                break
+            per_request = ctx.beta(task, rid) + ctx.gamma(task, rid, window)
+            epsilon += per_request * path_requests
+        zeta = ctx.other_task_request_workload(task, resources, response_time)
+        total += min(epsilon, zeta)
+    return total
+
+
+def intra_task_blocking(
+    ctx: DpcpPContext, task: DAGTask, n_lambda: Mapping[int, int]
+) -> float:
+    """Lemma 4: intra-task blocking bound :math:`b_i` for the analysed path.
+
+    Local resources block the path only if the path itself requests them
+    (Eq. (6)); global resources hosted on a processor block the path only if
+    the path requests *some* global resource on that processor (Eq. (7)).
+    """
+    total = 0.0
+    # Local resources used by the task (Eq. (6)).
+    for rid in ctx.taskset.local_resources():
+        count = task.request_count(rid)
+        if count == 0:
+            continue
+        path_requests = n_lambda.get(rid, 0)
+        if path_requests == 0:
+            continue
+        total += (count - path_requests) * task.cs_length(rid)
+
+    # Global resources, per hosting processor (Eq. (7)).
+    for processor in ctx.partition.platform.processors:
+        resources = ctx.resources_on_processor(processor)
+        if not resources:
+            continue
+        sigma = 1 if any(n_lambda.get(rid, 0) > 0 for rid in resources) else 0
+        if sigma == 0:
+            continue
+        total += ctx.own_offpath_cs_workload(task, resources, n_lambda)
+    return total

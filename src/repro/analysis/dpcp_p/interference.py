@@ -1,0 +1,69 @@
+"""Interference bounds for DPCP-p (Sec. IV-C, Lemmas 5–6)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ...model.dag import PathProfile
+from ...model.task import DAGTask
+from .context import DpcpPContext
+
+
+def vertex_non_critical_wcet(task: DAGTask, vertex: int) -> float:
+    """:math:`C'_{i,x}` — WCET of a vertex excluding its critical sections."""
+    v = task.vertices[vertex]
+    cs_time = sum(
+        count * task.cs_length(rid) for rid, count in v.requests.items() if count > 0
+    )
+    return max(0.0, v.wcet - cs_time)
+
+
+def intra_task_interference(
+    ctx: DpcpPContext, task: DAGTask, profile: PathProfile
+) -> float:
+    """Lemma 5: intra-task interference :math:`I^{intra}_i` for a concrete path.
+
+    Off-path vertices interfere with the path through their non-critical
+    sections and their local-resource critical sections (global requests are
+    accounted for as agent interference instead).
+    """
+    on_path = set(profile.vertices)
+    off_path_non_critical = sum(
+        vertex_non_critical_wcet(task, v.index)
+        for v in task.vertices
+        if v.index not in on_path
+    )
+    local_off_path = ctx.own_offpath_cs_workload(
+        task, ctx.taskset.local_resources(), profile.requests
+    )
+    return off_path_non_critical + local_off_path
+
+
+def intra_task_interference_en(task: DAGTask) -> float:
+    """EN-style intra-task interference bound: :math:`C_i - L^*_i`.
+
+    When the concrete path is unknown, the off-path workload (non-critical
+    plus local critical sections) is bounded by the task's total WCET minus
+    the longest-path length; this dominates Lemma 5 for every path.
+    """
+    return max(0.0, task.wcet - task.critical_path_length)
+
+
+def agent_interference(
+    ctx: DpcpPContext,
+    task: DAGTask,
+    n_lambda: Mapping[int, int],
+    response_time: float,
+) -> float:
+    """Lemma 6: agent interference :math:`I^A_i` on the task's own cluster.
+
+    For every global resource hosted on one of the task's processors, the
+    agents execute (i) requests of other tasks released while the path is
+    pending and (ii) requests of the task's own off-path vertices.
+    """
+    resources = ctx.resources_on_cluster(task)
+    if not resources:
+        return 0.0
+    other = ctx.other_task_request_workload(task, resources, response_time)
+    own_off_path = ctx.own_offpath_cs_workload(task, resources, n_lambda)
+    return other + own_off_path

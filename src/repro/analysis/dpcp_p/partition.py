@@ -1,0 +1,152 @@
+"""Task and resource partitioning for DPCP-p (Sec. V, Algorithms 1 and 2).
+
+The partitioning stage decides (i) how many processors each heavy task
+receives (its *cluster*) and (ii) which processor hosts each global resource.
+Resources are assigned with a Worst-Fit-Decreasing heuristic: the resource
+with the highest utilization goes to the least-loaded processor of the
+cluster with the largest utilization slack.  If some task's WCRT bound
+exceeds its deadline, it receives one additional processor (when available),
+the resource assignment is rolled back, and the procedure repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...model.platform import (
+    Cluster,
+    PartitionedSystem,
+    Platform,
+    minimal_federated_clusters,
+)
+from ...model.task import TaskSet
+from ..interfaces import SchedulabilityResult, TaskAnalysis, UNBOUNDED
+from ..paths import PathEnumerator
+from .wcrt import MODE_EN, MODE_EP, analyze_taskset
+
+
+@dataclass
+class WfdOutcome:
+    """Result of the WFD resource-assignment pass (Algorithm 2)."""
+
+    feasible: bool
+    assignment: Dict[int, int]
+    reason: str = ""
+
+
+def wfd_assign_resources(
+    taskset: TaskSet, clusters: Dict[int, Cluster]
+) -> WfdOutcome:
+    """Algorithm 2: Worst-Fit-Decreasing assignment of global resources.
+
+    Global resources are sorted by non-increasing utilization
+    :math:`u^\\Phi_q`; each is placed on the least-loaded processor of the
+    cluster with the maximum utilization slack.  The assignment is infeasible
+    when the chosen cluster would exceed its capacity.
+    """
+    resources = sorted(
+        taskset.global_resources(),
+        key=lambda rid: taskset.resource_utilization(rid),
+        reverse=True,
+    )
+    capacity: Dict[int, float] = {tid: float(c.size) for tid, c in clusters.items()}
+    usage: Dict[int, float] = {
+        tid: taskset.task(tid).utilization for tid in clusters
+    }
+    processor_load: Dict[int, float] = {
+        proc: 0.0 for cluster in clusters.values() for proc in cluster.processors
+    }
+    assignment: Dict[int, int] = {}
+
+    for rid in resources:
+        utilization = taskset.resource_utilization(rid)
+        best_cluster = max(
+            clusters, key=lambda tid: (capacity[tid] - usage[tid], -tid)
+        )
+        if usage[best_cluster] + utilization > capacity[best_cluster] + 1e-9:
+            return WfdOutcome(
+                feasible=False,
+                assignment={},
+                reason=(
+                    f"resource {rid} (u={utilization:.3f}) does not fit in any "
+                    "cluster's utilization slack"
+                ),
+            )
+        target = min(
+            clusters[best_cluster].processors, key=lambda p: (processor_load[p], p)
+        )
+        assignment[rid] = target
+        usage[best_cluster] += utilization
+        processor_load[target] += utilization
+    return WfdOutcome(feasible=True, assignment=assignment)
+
+
+def partition_and_analyze(
+    taskset: TaskSet,
+    platform: Platform,
+    mode: str = MODE_EP,
+    enumerator: Optional[PathEnumerator] = None,
+    protocol_name: str = "DPCP-p",
+) -> SchedulabilityResult:
+    """Algorithm 1: iterative task/resource partitioning plus analysis.
+
+    Returns the full schedulability verdict including the final partition and
+    per-task WCRT bounds.
+    """
+    name = f"{protocol_name}-{mode}"
+    clusters = minimal_federated_clusters(taskset, platform)
+    if clusters is None:
+        return SchedulabilityResult(
+            schedulable=False,
+            protocol=name,
+            reason="not enough processors for the minimal federated assignment",
+        )
+    enumerator = enumerator or PathEnumerator()
+
+    while True:
+        wfd = wfd_assign_resources(taskset, clusters)
+        if not wfd.feasible:
+            return SchedulabilityResult(
+                schedulable=False,
+                protocol=name,
+                reason=f"WFD resource assignment infeasible: {wfd.reason}",
+            )
+        partition = PartitionedSystem(taskset, platform, clusters, wfd.assignment)
+        analyses = analyze_taskset(taskset, partition, mode=mode, enumerator=enumerator)
+
+        failing = _first_failing_task(taskset, analyses)
+        if failing is None:
+            return SchedulabilityResult(
+                schedulable=True,
+                protocol=name,
+                task_analyses=analyses,
+                partition=partition,
+            )
+
+        unassigned = partition.unassigned_processors()
+        if not unassigned:
+            return SchedulabilityResult(
+                schedulable=False,
+                protocol=name,
+                task_analyses=analyses,
+                partition=partition,
+                reason=(
+                    f"task {failing} misses its deadline and no spare processor "
+                    "is available"
+                ),
+            )
+        # Give one more processor to the failing task, roll back the resource
+        # assignment (a fresh WFD pass runs at the top of the loop), and retry.
+        clusters[failing].processors.append(unassigned[0])
+
+
+def _first_failing_task(
+    taskset: TaskSet, analyses: Dict[int, TaskAnalysis]
+) -> Optional[int]:
+    """First task, in decreasing priority order, whose WCRT exceeds its deadline."""
+    for task in taskset.by_priority(descending=True):
+        analysis = analyses.get(task.task_id)
+        if analysis is None or analysis.wcrt == UNBOUNDED or not analysis.schedulable:
+            return task.task_id
+    return None

@@ -1,0 +1,63 @@
+"""Top-level schedulability tests for DPCP-p (EP and EN analysis variants)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...model.platform import Platform
+from ...model.task import TaskSet
+from ..interfaces import SchedulabilityResult, SchedulabilityTest
+from ..paths import PathEnumerator
+from .partition import partition_and_analyze
+from .wcrt import MODE_EN, MODE_EP
+
+
+class DpcpPTest(SchedulabilityTest):
+    """Schedulability test for DPCP-p under federated scheduling.
+
+    Parameters
+    ----------
+    mode:
+        ``"EP"`` — enumerate complete paths (the paper's tighter analysis), or
+        ``"EN"`` — enumerate the number of path requests per resource, as in
+        the prior local-execution analyses [6], [11].
+    max_path_signatures:
+        Cap on distinct path signatures per task before the EP analysis falls
+        back to the EN bound for the remaining paths.
+    """
+
+    def __init__(self, mode: str = MODE_EP, max_path_signatures: int = 4096) -> None:
+        if mode not in (MODE_EP, MODE_EN):
+            raise ValueError(f"unknown DPCP-p analysis mode {mode!r}")
+        self.mode = mode
+        self.name = f"DPCP-p-{mode}"
+        self._enumerator: Optional[PathEnumerator] = (
+            PathEnumerator(max_signatures=max_path_signatures) if mode == MODE_EP else None
+        )
+
+    def test(self, taskset: TaskSet, platform: Platform) -> SchedulabilityResult:
+        """Partition tasks and resources, then bound every task's WCRT."""
+        enumerator = PathEnumerator(
+            max_signatures=self._enumerator.max_signatures
+        ) if self._enumerator else None
+        return partition_and_analyze(
+            taskset,
+            platform,
+            mode=self.mode,
+            enumerator=enumerator,
+            protocol_name="DPCP-p",
+        )
+
+
+class DpcpPEpTest(DpcpPTest):
+    """DPCP-p with the path-enumeration (EP) analysis."""
+
+    def __init__(self, max_path_signatures: int = 4096) -> None:
+        super().__init__(mode=MODE_EP, max_path_signatures=max_path_signatures)
+
+
+class DpcpPEnTest(DpcpPTest):
+    """DPCP-p with the request-count-enumeration (EN) analysis."""
+
+    def __init__(self) -> None:
+        super().__init__(mode=MODE_EN)

@@ -1,0 +1,84 @@
+"""Shared federated-scheduling machinery for the baseline protocols.
+
+The baselines (SPIN, LPP) execute resource requests locally, so their
+partitioning stage only decides how many processors each heavy task receives.
+To keep the comparison with DPCP-p fair, they use the same iterative policy
+as Algorithm 1: start from the minimal federated assignment and grant one
+additional processor to the first task whose WCRT bound exceeds its deadline,
+as long as spare processors remain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+from ..model.platform import Cluster, PartitionedSystem, Platform, minimal_federated_clusters
+from ..model.task import DAGTask, TaskSet
+from .interfaces import SchedulabilityResult, TaskAnalysis
+
+#: Signature of a per-task WCRT bound used by the federated top-up loop:
+#: ``(taskset, task, cluster_size, known_response_times) -> wcrt``.
+WcrtFunction = Callable[[TaskSet, DAGTask, int, Dict[int, float]], float]
+
+
+def federated_topup_analysis(
+    taskset: TaskSet,
+    platform: Platform,
+    wcrt_function: WcrtFunction,
+    protocol_name: str,
+) -> SchedulabilityResult:
+    """Iteratively size clusters and analyse tasks with ``wcrt_function``.
+
+    Tasks are analysed in decreasing priority order; response times of
+    not-yet-analysed tasks are taken as their deadlines (consistent whenever
+    the final verdict is "schedulable").
+    """
+    clusters = minimal_federated_clusters(taskset, platform)
+    if clusters is None:
+        return SchedulabilityResult(
+            schedulable=False,
+            protocol=protocol_name,
+            reason="not enough processors for the minimal federated assignment",
+        )
+
+    while True:
+        partition = PartitionedSystem(taskset, platform, clusters, {})
+        analyses: Dict[int, TaskAnalysis] = {}
+        response_times: Dict[int, float] = {}
+        failing: Optional[int] = None
+        for task in taskset.by_priority(descending=True):
+            cluster_size = clusters[task.task_id].size
+            wcrt = wcrt_function(taskset, task, cluster_size, response_times)
+            analyses[task.task_id] = TaskAnalysis(
+                task_id=task.task_id,
+                wcrt=wcrt,
+                deadline=task.deadline,
+                processors=cluster_size,
+            )
+            response_times[task.task_id] = min(wcrt, task.deadline)
+            if math.isinf(wcrt) or wcrt > task.deadline + 1e-9:
+                failing = task.task_id
+                break
+
+        if failing is None:
+            return SchedulabilityResult(
+                schedulable=True,
+                protocol=protocol_name,
+                task_analyses=analyses,
+                partition=partition,
+            )
+
+        unassigned = partition.unassigned_processors()
+        if not unassigned:
+            return SchedulabilityResult(
+                schedulable=False,
+                protocol=protocol_name,
+                task_analyses=analyses,
+                partition=partition,
+                reason=(
+                    f"task {failing} misses its deadline and no spare processor "
+                    "is available"
+                ),
+            )
+        clusters[failing].processors.append(unassigned[0])

@@ -1,0 +1,63 @@
+"""FED-FP: resource-oblivious federated scheduling (Li et al. [13]).
+
+This is the paper's hypothetical upper baseline: shared resources are simply
+ignored, so a heavy task τi is schedulable on :math:`m_i` dedicated
+processors whenever
+
+.. math::  L^*_i + (C_i - L^*_i) / m_i \\le D_i,
+
+which the minimal assignment :math:`m_i = \\lceil (C_i - L^*_i)/(D_i - L^*_i)
+\\rceil` guarantees by construction.  The task set is schedulable when the
+minimal assignments fit on the platform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..model.platform import Platform, minimal_federated_clusters, PartitionedSystem
+from ..model.task import DAGTask, TaskSet
+from .interfaces import SchedulabilityResult, SchedulabilityTest, TaskAnalysis
+
+
+def federated_wcrt(task: DAGTask, cluster_size: int) -> float:
+    """Classic federated WCRT bound :math:`L^*_i + (C_i - L^*_i)/m_i`."""
+    if cluster_size < 1:
+        return math.inf
+    lstar = task.critical_path_length
+    return lstar + (task.wcet - lstar) / cluster_size
+
+
+class FedFpTest(SchedulabilityTest):
+    """Federated scheduling without shared resources (upper baseline)."""
+
+    name = "FED-FP"
+
+    def test(self, taskset: TaskSet, platform: Platform) -> SchedulabilityResult:
+        """Schedulable iff the minimal federated assignment fits the platform."""
+        clusters = minimal_federated_clusters(taskset, platform)
+        if clusters is None:
+            return SchedulabilityResult(
+                schedulable=False,
+                protocol=self.name,
+                reason="not enough processors for the minimal federated assignment",
+            )
+        partition = PartitionedSystem(taskset, platform, clusters, {})
+        analyses: Dict[int, TaskAnalysis] = {}
+        schedulable = True
+        for task in taskset:
+            wcrt = federated_wcrt(task, clusters[task.task_id].size)
+            analyses[task.task_id] = TaskAnalysis(
+                task_id=task.task_id,
+                wcrt=wcrt,
+                deadline=task.deadline,
+                processors=clusters[task.task_id].size,
+            )
+            schedulable = schedulable and wcrt <= task.deadline + 1e-9
+        return SchedulabilityResult(
+            schedulable=schedulable,
+            protocol=self.name,
+            task_analyses=analyses,
+            partition=partition,
+        )

@@ -1,0 +1,134 @@
+"""Complete-path enumeration for the path-oriented (EP) analysis.
+
+The EP variant of the DPCP-p analysis computes a WCRT bound for every
+complete path of a task's DAG and takes the maximum (Eq. (1)).  Two practical
+concerns are handled here:
+
+* Many paths are *analysis-equivalent*: the bound only depends on the path
+  length :math:`L(\\lambda)` and on the per-resource request counts
+  :math:`N^\\lambda_{i,q}`, so paths are deduplicated by that signature.
+* The number of complete paths can be exponential.  The enumerator accepts a
+  cap; when the cap is exceeded the result is flagged as *not exhaustive* and
+  callers fall back to the (sound but more pessimistic) EN-style bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..model.dag import PathProfile
+from ..model.task import DAGTask
+
+#: Default cap on the number of *distinct* path signatures kept per task.
+DEFAULT_MAX_SIGNATURES = 4096
+
+#: Default cap on the number of raw paths walked per task.
+DEFAULT_MAX_PATHS = 200_000
+
+
+@dataclass
+class PathEnumerationResult:
+    """Outcome of enumerating the complete paths of one task.
+
+    Attributes
+    ----------
+    profiles:
+        Deduplicated path profiles (one per distinct analysis signature).
+    exhaustive:
+        ``True`` when every complete path was visited; ``False`` when a cap
+        was hit and the profiles only cover a subset of the paths.
+    total_paths_seen:
+        Number of raw paths walked before stopping.
+    """
+
+    profiles: List[PathProfile]
+    exhaustive: bool
+    total_paths_seen: int
+
+
+class PathEnumerator:
+    """Enumerates and caches the path profiles of tasks.
+
+    Parameters
+    ----------
+    max_signatures:
+        Cap on distinct signatures retained per task.
+    max_paths:
+        Cap on raw paths walked per task.
+    """
+
+    def __init__(
+        self,
+        max_signatures: int = DEFAULT_MAX_SIGNATURES,
+        max_paths: int = DEFAULT_MAX_PATHS,
+    ) -> None:
+        if max_signatures < 1 or max_paths < 1:
+            raise ValueError("enumeration caps must be positive")
+        self.max_signatures = max_signatures
+        self.max_paths = max_paths
+        self._cache: Dict[Tuple[int, int], PathEnumerationResult] = {}
+
+    def enumerate(self, task: DAGTask) -> PathEnumerationResult:
+        """Enumerate (and cache) the distinct path profiles of ``task``."""
+        key = (id(task), task.task_id)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        # Quick pre-check: if the path count is astronomically large, skip the
+        # walk entirely and only report the critical path (non-exhaustive).
+        approx_count = task.dag.count_complete_paths(limit=self.max_paths + 1)
+        if approx_count > self.max_paths:
+            result = PathEnumerationResult(
+                profiles=[task.critical_path_profile()],
+                exhaustive=False,
+                total_paths_seen=0,
+            )
+            self._cache[key] = result
+            return result
+
+        profiles: Dict[Tuple, PathProfile] = {}
+        exhaustive = True
+        seen = 0
+        for vertices in task.dag.iter_complete_paths():
+            seen += 1
+            profile = task.path_profile(vertices)
+            signature = profile.signature()
+            if signature not in profiles:
+                profiles[signature] = profile
+                if len(profiles) > self.max_signatures:
+                    exhaustive = False
+                    break
+            if seen >= self.max_paths:
+                exhaustive = seen >= approx_count
+                break
+
+        if not profiles:
+            profiles_list = [task.critical_path_profile()]
+        else:
+            profiles_list = list(profiles.values())
+        result = PathEnumerationResult(
+            profiles=profiles_list,
+            exhaustive=exhaustive,
+            total_paths_seen=seen,
+        )
+        self._cache[key] = result
+        return result
+
+    def clear(self) -> None:
+        """Drop all cached enumerations."""
+        self._cache.clear()
+
+
+def critical_path_only(task: DAGTask) -> PathEnumerationResult:
+    """A degenerate enumeration containing only the critical path.
+
+    Used by the EN-style analyses, which reason about the longest path and
+    treat the per-resource request counts as free variables.
+    """
+    return PathEnumerationResult(
+        profiles=[task.critical_path_profile()],
+        exhaustive=False,
+        total_paths_seen=1,
+    )

@@ -1,0 +1,87 @@
+"""Fixed-point iteration helpers for response-time analysis.
+
+The paper's WCRT bounds (Theorem 1 and Lemma 2) are least fixed points of
+monotone recurrences ``x = f(x)``.  :func:`least_fixed_point` iterates such a
+recurrence from a starting value until convergence, giving up when the
+iterate exceeds a divergence bound (which the analyses interpret as
+"unschedulable / no bound").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+#: Default absolute convergence tolerance, in microseconds.
+DEFAULT_TOLERANCE = 1e-6
+
+#: Default iteration cap; the recurrences used here converge in far fewer steps.
+DEFAULT_MAX_ITERATIONS = 10_000
+
+
+class FixedPointDiverged(RuntimeError):
+    """Raised internally when a recurrence exceeds its divergence bound."""
+
+
+def least_fixed_point(
+    recurrence: Callable[[float], float],
+    start: float,
+    divergence_bound: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Optional[float]:
+    """Iterate ``x_{k+1} = recurrence(x_k)`` from ``start`` until convergence.
+
+    Parameters
+    ----------
+    recurrence:
+        A monotone function of the iterate.
+    start:
+        Initial value (typically the constant part of the recurrence).
+    divergence_bound:
+        If an iterate exceeds this value the search is abandoned and ``None``
+        is returned.  Analyses pass the deadline (or a small multiple of it):
+        any fixed point beyond it is irrelevant for schedulability.
+    tolerance:
+        Absolute convergence tolerance.
+    max_iterations:
+        Safety cap on the number of iterations.
+
+    Returns
+    -------
+    float or None
+        The least fixed point (up to ``tolerance``), or ``None`` if the
+        iteration diverged past ``divergence_bound`` or failed to converge.
+    """
+    if math.isinf(start) or math.isnan(start):
+        return None
+    current = float(start)
+    if current > divergence_bound:
+        return None
+    for _ in range(max_iterations):
+        nxt = float(recurrence(current))
+        if math.isnan(nxt):
+            return None
+        if nxt < current - tolerance:
+            # A monotone recurrence should never decrease; clamp defensively
+            # so that rounding noise cannot cause oscillation.
+            nxt = current
+        if nxt > divergence_bound:
+            return None
+        if abs(nxt - current) <= tolerance:
+            return nxt
+        current = nxt
+    return None
+
+
+def ceil_div_jobs(interval: float, period: float, response_time: float) -> int:
+    """Bound :math:`\\eta_j(L) = \\lceil (L + R_j) / T_j \\rceil` on released jobs.
+
+    ``response_time`` is the carried-in response-time bound :math:`R_j`
+    (use the deadline for tasks whose response time is not yet known).
+    Negative or zero intervals still account for one carried-in job.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    interval = max(interval, 0.0)
+    return max(0, int(math.ceil((interval + response_time) / period - 1e-12)))

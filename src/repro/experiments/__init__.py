@@ -1,0 +1,73 @@
+"""Schedulability experiment harness (Sec. VII): sweeps, figures, tables."""
+
+from .figures import (
+    FIGURE_PROTOCOLS,
+    acceptance_series,
+    render_ascii_plot,
+    render_series_table,
+    series_to_csv,
+    write_series_csv,
+)
+from .metrics import (
+    PairwiseStatistics,
+    SweepCurve,
+    dominates,
+    outperforms,
+    weighted_acceptance,
+)
+from .runner import (
+    SweepConfig,
+    SweepResult,
+    pairwise_statistics,
+    run_campaign,
+    run_sweep,
+)
+from .scenarios import (
+    ACCESS_PROBABILITIES,
+    AVERAGE_UTILIZATIONS,
+    CS_LENGTH_RANGES,
+    PLATFORM_SIZES,
+    REQUEST_COUNT_RANGES,
+    RESOURCE_COUNT_RANGES,
+    Scenario,
+    figure2_scenarios,
+    full_grid,
+)
+from .tables import (
+    TABLE_PROTOCOLS,
+    render_dominance_table,
+    render_outperformance_table,
+    table_rows,
+)
+
+__all__ = [
+    "FIGURE_PROTOCOLS",
+    "acceptance_series",
+    "render_ascii_plot",
+    "render_series_table",
+    "series_to_csv",
+    "write_series_csv",
+    "PairwiseStatistics",
+    "SweepCurve",
+    "dominates",
+    "outperforms",
+    "weighted_acceptance",
+    "SweepConfig",
+    "SweepResult",
+    "pairwise_statistics",
+    "run_campaign",
+    "run_sweep",
+    "ACCESS_PROBABILITIES",
+    "AVERAGE_UTILIZATIONS",
+    "CS_LENGTH_RANGES",
+    "PLATFORM_SIZES",
+    "REQUEST_COUNT_RANGES",
+    "RESOURCE_COUNT_RANGES",
+    "Scenario",
+    "figure2_scenarios",
+    "full_grid",
+    "TABLE_PROTOCOLS",
+    "render_dominance_table",
+    "render_outperformance_table",
+    "table_rows",
+]

@@ -1,0 +1,108 @@
+"""Reproduction of the paper's Fig. 2 (acceptance-ratio curves).
+
+The figure builders turn sweep results into (i) plain-text tables of the
+acceptance-ratio series (one column per protocol), (ii) a simple ASCII plot
+for terminal inspection, and (iii) CSV files for external plotting — the
+repository deliberately has no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional, Sequence
+
+from .metrics import SweepCurve
+from .runner import SweepResult
+
+#: Plot order used in Fig. 2.
+FIGURE_PROTOCOLS = ("DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP", "FED-FP")
+
+
+def acceptance_series(result: SweepResult, protocols: Optional[Sequence[str]] = None) -> List[dict]:
+    """Per-utilization-point acceptance ratios (one dict per point)."""
+    protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
+    rows: List[dict] = []
+    reference = result.curves[protocols[0]]
+    m = result.scenario.platform_size
+    for index, utilization in enumerate(reference.utilizations):
+        row = {
+            "utilization": utilization,
+            "normalized_utilization": utilization / m,
+        }
+        for protocol in protocols:
+            row[protocol] = result.curves[protocol].acceptance_ratios[index]
+        rows.append(row)
+    return rows
+
+
+def render_series_table(
+    result: SweepResult, protocols: Optional[Sequence[str]] = None, title: str = ""
+) -> str:
+    """Plain-text table of the acceptance-ratio series of one sweep."""
+    protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
+    rows = acceptance_series(result, protocols)
+    header = ["U/m"] + list(protocols)
+    lines = [title or f"Scenario {result.scenario.scenario_id}"]
+    lines.append("  ".join(f"{h:>10s}" for h in header))
+    for row in rows:
+        cells = [f"{row['normalized_utilization']:>10.2f}"]
+        cells += [f"{row[p]:>10.2f}" for p in protocols]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_ascii_plot(
+    result: SweepResult,
+    protocols: Optional[Sequence[str]] = None,
+    height: int = 12,
+) -> str:
+    """Very small ASCII rendering of the acceptance-ratio curves.
+
+    Each protocol is drawn with its own marker; points round to the nearest
+    character cell, which is plenty to eyeball the crossovers reported in the
+    paper.
+    """
+    protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
+    markers = "ox+*#@%&"
+    rows = acceptance_series(result, protocols)
+    width = len(rows)
+    grid = [[" "] * width for _ in range(height + 1)]
+    for column, row in enumerate(rows):
+        for index, protocol in enumerate(protocols):
+            level = int(round(row[protocol] * height))
+            grid[height - level][column] = markers[index % len(markers)]
+    lines = [f"acceptance ratio vs normalized utilization — {result.scenario.scenario_id}"]
+    for level, row_cells in enumerate(grid):
+        label = f"{(height - level) / height:4.2f} |"
+        lines.append(label + "".join(row_cells))
+    lines.append("      " + "-" * width)
+    legend = ", ".join(
+        f"{markers[i % len(markers)]}={p}" for i, p in enumerate(protocols)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def series_to_csv(
+    result: SweepResult, protocols: Optional[Sequence[str]] = None
+) -> str:
+    """CSV text of the acceptance-ratio series (for external plotting)."""
+    protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
+    rows = acceptance_series(result, protocols)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer,
+        fieldnames=["utilization", "normalized_utilization", *protocols],
+        lineterminator="\n",
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_series_csv(result: SweepResult, path: str) -> None:
+    """Write the acceptance-ratio series of one sweep to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(series_to_csv(result))

@@ -1,0 +1,136 @@
+"""Metrics used by the paper's evaluation: acceptance ratio, dominance,
+outperformance.
+
+*Acceptance ratio* — fraction of generated task sets deemed schedulable at a
+given utilization point.
+
+For one experimental scenario (a full utilization sweep), the paper compares
+two algorithms A and B as follows (footnote 1):
+
+* A **outperforms** B if A scheduled more task sets than B over the whole
+  sweep;
+* A **dominates** B if A's acceptance ratio is at least B's at every tested
+  point and strictly higher at some point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+
+@dataclass
+class SweepCurve:
+    """Acceptance-ratio curve of one protocol over one utilization sweep."""
+
+    protocol: str
+    utilizations: List[float] = field(default_factory=list)
+    accepted: List[int] = field(default_factory=list)
+    sampled: List[int] = field(default_factory=list)
+
+    def add_point(self, utilization: float, accepted: int, sampled: int) -> None:
+        """Record the outcome of one utilization point."""
+        if sampled <= 0:
+            raise ValueError("sampled must be positive")
+        if not 0 <= accepted <= sampled:
+            raise ValueError("accepted must lie in [0, sampled]")
+        self.utilizations.append(float(utilization))
+        self.accepted.append(int(accepted))
+        self.sampled.append(int(sampled))
+
+    @property
+    def acceptance_ratios(self) -> List[float]:
+        """Per-point acceptance ratios."""
+        return [a / s for a, s in zip(self.accepted, self.sampled)]
+
+    @property
+    def total_accepted(self) -> int:
+        """Total number of task sets accepted over the sweep."""
+        return sum(self.accepted)
+
+    @property
+    def total_sampled(self) -> int:
+        """Total number of task sets evaluated over the sweep."""
+        return sum(self.sampled)
+
+    def normalized_utilizations(self, platform_size: int) -> List[float]:
+        """Utilization points divided by the platform size (the figure x-axis)."""
+        return [u / platform_size for u in self.utilizations]
+
+
+def outperforms(a: SweepCurve, b: SweepCurve) -> bool:
+    """Whether protocol ``a`` scheduled strictly more task sets than ``b``."""
+    return a.total_accepted > b.total_accepted
+
+
+def dominates(a: SweepCurve, b: SweepCurve, tolerance: float = 1e-12) -> bool:
+    """Whether ``a``'s curve is never below and somewhere above ``b``'s curve."""
+    ratios_a = a.acceptance_ratios
+    ratios_b = b.acceptance_ratios
+    if len(ratios_a) != len(ratios_b):
+        raise ValueError("curves must cover the same utilization points")
+    never_below = all(ra >= rb - tolerance for ra, rb in zip(ratios_a, ratios_b))
+    somewhere_above = any(ra > rb + tolerance for ra, rb in zip(ratios_a, ratios_b))
+    return never_below and somewhere_above
+
+
+@dataclass
+class PairwiseStatistics:
+    """Dominance / outperformance counts over a collection of scenarios."""
+
+    protocols: List[str]
+    scenario_count: int = 0
+    dominance: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    outperformance: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for a in self.protocols:
+            self.dominance.setdefault(a, {})
+            self.outperformance.setdefault(a, {})
+            for b in self.protocols:
+                if a == b:
+                    continue
+                self.dominance[a].setdefault(b, 0)
+                self.outperformance[a].setdefault(b, 0)
+
+    def record_scenario(self, curves: Mapping[str, SweepCurve]) -> None:
+        """Update the counts with the sweep curves of one scenario."""
+        missing = [p for p in self.protocols if p not in curves]
+        if missing:
+            raise ValueError(f"missing curves for protocols {missing}")
+        self.scenario_count += 1
+        for a in self.protocols:
+            for b in self.protocols:
+                if a == b:
+                    continue
+                if dominates(curves[a], curves[b]):
+                    self.dominance[a][b] += 1
+                if outperforms(curves[a], curves[b]):
+                    self.outperformance[a][b] += 1
+
+    def dominance_fraction(self, a: str, b: str) -> float:
+        """Fraction of scenarios where ``a`` dominates ``b``."""
+        if self.scenario_count == 0:
+            return 0.0
+        return self.dominance[a][b] / self.scenario_count
+
+    def outperformance_fraction(self, a: str, b: str) -> float:
+        """Fraction of scenarios where ``a`` outperforms ``b``."""
+        if self.scenario_count == 0:
+            return 0.0
+        return self.outperformance[a][b] / self.scenario_count
+
+
+def weighted_acceptance(curves: Sequence[SweepCurve]) -> Dict[str, float]:
+    """Overall acceptance ratio per protocol, aggregated over several sweeps."""
+    totals: Dict[str, List[int]] = {}
+    for curve in curves:
+        accepted, sampled = totals.setdefault(curve.protocol, [0, 0])
+        totals[curve.protocol] = [
+            accepted + curve.total_accepted,
+            sampled + curve.total_sampled,
+        ]
+    return {
+        protocol: (accepted / sampled if sampled else 0.0)
+        for protocol, (accepted, sampled) in totals.items()
+    }

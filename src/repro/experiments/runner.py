@@ -1,0 +1,146 @@
+"""Experiment runner: utilization sweeps and scenario-grid campaigns.
+
+The runner generates task sets, applies every schedulability test, and
+collects :class:`~repro.experiments.metrics.SweepCurve` objects that the
+figure and table builders consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis import default_protocols
+from ..analysis.interfaces import SchedulabilityTest
+from ..generation.randfixedsum import GenerationError
+from ..generation.taskset_gen import generate_taskset
+from ..model.platform import Platform
+from ..model.task import TaskSet
+from ..utils.rng import RngLike, ensure_rng, spawn_rngs
+from .metrics import PairwiseStatistics, SweepCurve
+from .scenarios import Scenario
+
+#: Callback invoked after every evaluated utilization point:
+#: ``(scenario, utilization, {protocol: accepted})``.
+ProgressCallback = Callable[[Scenario, float, Dict[str, int]], None]
+
+
+@dataclass
+class SweepConfig:
+    """Run-time knobs of a utilization sweep.
+
+    Attributes
+    ----------
+    samples_per_point:
+        Number of task sets generated per utilization point.
+    utilization_step_fraction:
+        Sweep resolution as a fraction of the platform size (0.05 in the
+        paper).
+    max_path_signatures:
+        Cap forwarded to the EP path enumerator (see DESIGN.md).
+    seed:
+        Base seed; every (point, sample) pair receives its own child stream.
+    """
+
+    samples_per_point: int = 20
+    utilization_step_fraction: float = 0.05
+    max_path_signatures: int = 2048
+    seed: Optional[int] = 20200706
+
+
+@dataclass
+class SweepResult:
+    """Outcome of sweeping one scenario."""
+
+    scenario: Scenario
+    curves: Dict[str, SweepCurve] = field(default_factory=dict)
+
+    def curve(self, protocol: str) -> SweepCurve:
+        """Curve of one protocol."""
+        return self.curves[protocol]
+
+    @property
+    def protocols(self) -> List[str]:
+        """Protocols covered by this sweep."""
+        return list(self.curves)
+
+
+def run_sweep(
+    scenario: Scenario,
+    protocols: Optional[Sequence[SchedulabilityTest]] = None,
+    config: Optional[SweepConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Sweep the normalized utilization for one scenario.
+
+    For every utilization point, ``config.samples_per_point`` task sets are
+    generated and every protocol is applied to every task set; the acceptance
+    counts form one :class:`SweepCurve` per protocol.
+    """
+    config = config or SweepConfig()
+    protocols = list(protocols) if protocols is not None else default_protocols()
+    platform = Platform(scenario.platform_size)
+    generation_config = scenario.generation_config()
+    points = scenario.utilization_points(config.utilization_step_fraction)
+
+    result = SweepResult(scenario=scenario)
+    for test in protocols:
+        result.curves[test.name] = SweepCurve(protocol=test.name)
+
+    base_rng = ensure_rng(config.seed)
+    point_rngs = spawn_rngs(base_rng, len(points))
+    for point_index, utilization in enumerate(points):
+        sample_rngs = spawn_rngs(point_rngs[point_index], config.samples_per_point)
+        accepted: Dict[str, int] = {test.name: 0 for test in protocols}
+        evaluated = 0
+        for sample_rng in sample_rngs:
+            taskset = _generate(utilization, generation_config, sample_rng)
+            if taskset is None:
+                continue
+            evaluated += 1
+            for test in protocols:
+                if test.test(taskset, platform).schedulable:
+                    accepted[test.name] += 1
+        evaluated = max(evaluated, 1)
+        for test in protocols:
+            result.curves[test.name].add_point(
+                utilization, accepted[test.name], evaluated
+            )
+        if progress is not None:
+            progress(scenario, utilization, accepted)
+    return result
+
+
+def _generate(utilization, generation_config, rng) -> Optional[TaskSet]:
+    """Generate one task set, tolerating (rare) infeasible draws."""
+    try:
+        return generate_taskset(utilization, generation_config, rng)
+    except GenerationError:
+        return None
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    protocols: Optional[Sequence[SchedulabilityTest]] = None,
+    config: Optional[SweepConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[SweepResult]:
+    """Run a sweep for every scenario of a grid."""
+    return [
+        run_sweep(scenario, protocols=protocols, config=config, progress=progress)
+        for scenario in scenarios
+    ]
+
+
+def pairwise_statistics(
+    results: Sequence[SweepResult], protocols: Optional[Sequence[str]] = None
+) -> PairwiseStatistics:
+    """Aggregate dominance/outperformance statistics over sweep results."""
+    if not results:
+        raise ValueError("no sweep results to aggregate")
+    if protocols is None:
+        protocols = results[0].protocols
+    stats = PairwiseStatistics(protocols=list(protocols))
+    for result in results:
+        stats.record_scenario(result.curves)
+    return stats

@@ -1,0 +1,167 @@
+"""RandFixedSum — uniform generation of utilization vectors with a fixed sum.
+
+Implements the Stafford/Emberson ``RandFixedSum`` algorithm [7] used by the
+paper to draw task utilizations: ``n`` values, each within ``[low, high]``,
+summing exactly to a prescribed total, distributed uniformly over that
+simplex slice.
+
+Reference: P. Emberson, R. Stafford, R. I. Davis, "Techniques for the
+synthesis of multiprocessor tasksets", WATERS 2010.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..utils.rng import RngLike, ensure_rng
+
+
+class GenerationError(ValueError):
+    """Raised when a generation request is infeasible or malformed."""
+
+
+def _rand_fixed_sum_unit(n: int, total: float, nsets: int, rng: np.random.Generator) -> np.ndarray:
+    """Stafford's algorithm on the unit cube: values in [0, 1] summing to ``total``."""
+    if not 0.0 <= total <= n:
+        raise GenerationError(f"total {total} outside the feasible range [0, {n}]")
+    if n == 1:
+        return np.full((nsets, 1), total)
+
+    k = int(np.floor(total))
+    k = min(max(k, 0), n - 1)
+    s = total
+    s1 = s - np.arange(k, k - n, -1.0)
+    s2 = np.arange(k + n, k, -1.0) - s
+
+    tiny = np.finfo(float).tiny
+    huge = np.finfo(float).max
+
+    w = np.zeros((n, n + 1))
+    w[0, 1] = huge
+    t = np.zeros((n - 1, n))
+
+    for i in range(2, n + 1):
+        tmp1 = w[i - 2, 1 : i + 1] * s1[0:i] / float(i)
+        tmp2 = w[i - 2, 0:i] * s2[n - i : n] / float(i)
+        w[i - 1, 1 : i + 1] = tmp1 + tmp2
+        tmp3 = w[i - 1, 1 : i + 1] + tiny
+        tmp4 = s2[n - i : n] > s1[0:i]
+        t[i - 2, 0:i] = (tmp2 / tmp3) * tmp4 + (1 - tmp1 / tmp3) * (~tmp4)
+
+    x = np.zeros((n, nsets))
+    rt = rng.uniform(size=(n - 1, nsets))
+    rs = rng.uniform(size=(n - 1, nsets))
+    s_arr = np.full(nsets, s)
+    j_arr = np.full(nsets, k + 1, dtype=int)
+    sm = np.zeros(nsets)
+    pr = np.ones(nsets)
+
+    for i in range(n - 1, 0, -1):
+        e = rt[n - i - 1, :] <= t[i - 1, j_arr - 1]
+        sx = rs[n - i - 1, :] ** (1.0 / i)
+        sm = sm + (1.0 - sx) * pr * s_arr / (i + 1)
+        pr = sx * pr
+        x[n - i - 1, :] = sm + pr * e
+        s_arr = s_arr - e
+        j_arr = j_arr - e.astype(int)
+
+    x[n - 1, :] = sm + pr * s_arr
+
+    # Shuffle each column so the coordinates are exchangeable.
+    for col in range(nsets):
+        x[:, col] = x[rng.permutation(n), col]
+
+    return x.T
+
+
+def rand_fixed_sum(
+    n: int,
+    total: float,
+    low: float,
+    high: float,
+    nsets: int = 1,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw ``nsets`` vectors of ``n`` values in ``[low, high]`` summing to ``total``.
+
+    Returns an array of shape ``(nsets, n)``.
+
+    Raises
+    ------
+    GenerationError
+        If the request is infeasible (``total`` outside ``[n*low, n*high]``).
+    """
+    if n <= 0:
+        raise GenerationError("n must be positive")
+    if high < low:
+        raise GenerationError("high must be >= low")
+    if not (n * low - 1e-12 <= total <= n * high + 1e-12):
+        raise GenerationError(
+            f"cannot produce {n} values in [{low}, {high}] summing to {total}"
+        )
+    generator = ensure_rng(rng)
+    if high == low:
+        return np.full((nsets, n), low)
+    unit_total = (total - n * low) / (high - low)
+    unit_total = min(max(unit_total, 0.0), float(n))
+    unit = _rand_fixed_sum_unit(n, unit_total, nsets, generator)
+    return low + unit * (high - low)
+
+
+def utilizations_for_total(
+    total_utilization: float,
+    average_utilization: float,
+    max_factor: float = 2.0,
+    min_utilization: float = 1.0,
+    rng: RngLike = None,
+) -> List[float]:
+    """Draw task utilizations for a target total, as in Sec. VII-A.
+
+    The paper draws the task utilizations with RandFixedSum in the range
+    ``(1, 2 * U_avg]``, and chooses the number of tasks from the total and
+    the average utilization.  This helper reproduces that policy while
+    gracefully handling the boundary cases of very small totals (where no
+    heavy task fits) by clamping the per-task range.
+
+    Parameters
+    ----------
+    total_utilization:
+        Target sum of utilizations.
+    average_utilization:
+        :math:`U^{avg}` (1.5 or 2 in the paper).
+    max_factor:
+        Upper bound factor; per-task utilizations are at most
+        ``max_factor * average_utilization``.
+    min_utilization:
+        Lower bound on per-task utilization (1.0 in the paper — heavy tasks).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    list of float
+        The utilizations (their sum equals ``total_utilization`` up to float
+        rounding).
+    """
+    if total_utilization <= 0:
+        raise GenerationError("total utilization must be positive")
+    if average_utilization <= 0:
+        raise GenerationError("average utilization must be positive")
+
+    high = max_factor * average_utilization
+    if total_utilization <= min_utilization:
+        return [total_utilization]
+
+    n = int(round(total_utilization / average_utilization))
+    n = max(n, 1)
+    # Feasibility: n * min < total <= n * high.
+    while n > 1 and n * min_utilization >= total_utilization:
+        n -= 1
+    while n * high < total_utilization:
+        n += 1
+
+    low = min_utilization if n * min_utilization < total_utilization else 0.0
+    values = rand_fixed_sum(n, total_utilization, low, high, nsets=1, rng=rng)[0]
+    return [float(u) for u in values]

@@ -1,0 +1,30 @@
+"""Discrete-event simulation of the DPCP-p runtime protocol."""
+
+from .behaviors import (
+    BehaviorError,
+    Segment,
+    VertexBehavior,
+    behaviors_from_task,
+    validate_behaviors,
+)
+from .paper_example import build_figure1_system, build_task_i, build_task_j
+from .simulator import DpcpPSimulator, SimulationError, simulate_periodic
+from .trace import ExecutionInterval, JobRecord, RequestRecord, SimulationTrace
+
+__all__ = [
+    "BehaviorError",
+    "Segment",
+    "VertexBehavior",
+    "behaviors_from_task",
+    "validate_behaviors",
+    "build_figure1_system",
+    "build_task_i",
+    "build_task_j",
+    "DpcpPSimulator",
+    "SimulationError",
+    "simulate_periodic",
+    "ExecutionInterval",
+    "JobRecord",
+    "RequestRecord",
+    "SimulationTrace",
+]

@@ -1,0 +1,123 @@
+"""Execution behaviours: how a vertex's WCET decomposes into segments.
+
+The analytical model only needs per-vertex WCETs and request counts; the
+runtime simulator additionally needs to know *when* within a vertex's
+execution each request is issued.  A :class:`VertexBehavior` is an ordered
+list of segments — non-critical computation or a critical section on a
+specific resource — whose durations sum to the vertex WCET.
+
+:func:`behaviors_from_task` derives a default behaviour (requests spread
+evenly through the vertex) so that any generated task can be simulated
+without extra annotations; examples that reproduce a concrete schedule (e.g.
+Fig. 1) construct behaviours explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..model.task import DAGTask
+
+
+class BehaviorError(ValueError):
+    """Raised for inconsistent vertex behaviours."""
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous piece of a vertex's execution.
+
+    ``resource is None`` denotes non-critical computation; otherwise the
+    segment is a critical section on that resource.
+    """
+
+    duration: float
+    resource: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise BehaviorError("segment duration must be non-negative")
+
+    @property
+    def is_critical(self) -> bool:
+        """Whether this segment is a critical section."""
+        return self.resource is not None
+
+
+@dataclass
+class VertexBehavior:
+    """The ordered segments executed by one vertex."""
+
+    vertex: int
+    segments: List[Segment] = field(default_factory=list)
+
+    @property
+    def total_duration(self) -> float:
+        """Total execution time of the vertex."""
+        return sum(s.duration for s in self.segments)
+
+    def request_counts(self) -> Dict[int, int]:
+        """Number of critical sections per resource in this behaviour."""
+        counts: Dict[int, int] = {}
+        for segment in self.segments:
+            if segment.is_critical:
+                counts[segment.resource] = counts.get(segment.resource, 0) + 1
+        return counts
+
+
+def validate_behaviors(task: DAGTask, behaviors: Dict[int, VertexBehavior]) -> None:
+    """Check that behaviours match the task's WCETs and request counts."""
+    for vertex in task.vertices:
+        behavior = behaviors.get(vertex.index)
+        if behavior is None:
+            raise BehaviorError(f"vertex {vertex.index} has no behaviour")
+        if abs(behavior.total_duration - vertex.wcet) > 1e-6:
+            raise BehaviorError(
+                f"vertex {vertex.index}: behaviour duration {behavior.total_duration} "
+                f"!= WCET {vertex.wcet}"
+            )
+        counts = behavior.request_counts()
+        for rid, expected in vertex.requests.items():
+            if expected and counts.get(rid, 0) != expected:
+                raise BehaviorError(
+                    f"vertex {vertex.index}: behaviour issues {counts.get(rid, 0)} "
+                    f"requests to resource {rid}, expected {expected}"
+                )
+
+
+def behaviors_from_task(task: DAGTask) -> Dict[int, VertexBehavior]:
+    """Derive default behaviours: requests spread evenly through each vertex.
+
+    Each vertex alternates equal slices of non-critical execution with its
+    critical sections (in resource-id order), starting and ending with a
+    non-critical slice when non-critical time is available.
+    """
+    behaviors: Dict[int, VertexBehavior] = {}
+    for vertex in task.vertices:
+        critical: List[Segment] = []
+        for rid in sorted(vertex.requests):
+            count = vertex.requests[rid]
+            cs_length = task.cs_length(rid)
+            critical.extend(Segment(cs_length, rid) for _ in range(count))
+        cs_total = sum(s.duration for s in critical)
+        non_critical_total = vertex.wcet - cs_total
+        if non_critical_total < -1e-9:
+            raise BehaviorError(
+                f"vertex {vertex.index}: critical sections exceed the WCET"
+            )
+        non_critical_total = max(0.0, non_critical_total)
+        slices = len(critical) + 1
+        slice_duration = non_critical_total / slices
+        segments: List[Segment] = []
+        for piece in critical:
+            if slice_duration > 0:
+                segments.append(Segment(slice_duration))
+            segments.append(piece)
+        if slice_duration > 0:
+            segments.append(Segment(slice_duration))
+        if not segments:
+            segments.append(Segment(0.0))
+        behaviors[vertex.index] = VertexBehavior(vertex.index, segments)
+    validate_behaviors(task, behaviors)
+    return behaviors

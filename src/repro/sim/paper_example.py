@@ -1,0 +1,137 @@
+"""The two-task example of Fig. 1, ready to simulate.
+
+The paper illustrates DPCP-p with two DAG tasks on four processors (two
+processors per task), one global resource ℓ1 (home processor ℘2) and one
+local resource ℓ2 of task τi.  This module constructs that system — DAG
+structures, WCETs, resource usage, explicit execution behaviours, clusters,
+and resource placement — so that tests and examples can replay the schedule
+and check the behaviours called out in Sec. III-C:
+
+* at t = 2, vertex v_{i,2} suspends on ℓ1 until its agent finishes at t = 7;
+* the request ℛ_{i,1} waits in SQ^G_2 until ℛ_{j,1} releases ℓ1 at t = 4;
+* v_{i,3} holds the local resource ℓ2 during [2, 4] while v_{i,4} suspends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..model.dag import DAG
+from ..model.platform import Cluster, PartitionedSystem, Platform
+from ..model.resources import Resource, ResourceUsage
+from ..model.task import DAGTask, TaskSet, Vertex
+from .behaviors import Segment, VertexBehavior
+
+#: Resource ids used by the example.
+RESOURCE_GLOBAL = 1  # ℓ1 in the paper (red)
+RESOURCE_LOCAL = 2   # ℓ2 in the paper (blue)
+
+
+def build_task_i() -> Tuple[DAGTask, Dict[int, VertexBehavior]]:
+    """Task τi of Fig. 1(a): 8 vertices, longest path (v1, v5, v7, v8) of length 10."""
+    wcets = [2.0, 3.0, 2.0, 2.0, 4.0, 2.0, 2.0, 2.0]
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 4),
+        (1, 5),
+        (2, 6), (3, 6), (4, 6),
+        (5, 7), (6, 7),
+    ]
+    dag = DAG(8, edges)
+    vertices = [
+        Vertex(0, wcets[0]),
+        Vertex(1, wcets[1], requests={RESOURCE_GLOBAL: 1}),
+        Vertex(2, wcets[2], requests={RESOURCE_LOCAL: 1}),
+        Vertex(3, wcets[3], requests={RESOURCE_LOCAL: 1}),
+        Vertex(4, wcets[4]),
+        Vertex(5, wcets[5]),
+        Vertex(6, wcets[6]),
+        Vertex(7, wcets[7]),
+    ]
+    usages = [
+        ResourceUsage(RESOURCE_GLOBAL, max_requests=1, cs_length=3.0),
+        ResourceUsage(RESOURCE_LOCAL, max_requests=2, cs_length=2.0),
+    ]
+    task = DAGTask(
+        task_id=0,
+        vertices=vertices,
+        dag=dag,
+        period=30.0,
+        deadline=30.0,
+        resource_usages=usages,
+        priority=1,
+        name="tau_i",
+    )
+    behaviors = {
+        0: VertexBehavior(0, [Segment(2.0)]),
+        1: VertexBehavior(1, [Segment(3.0, RESOURCE_GLOBAL)]),
+        2: VertexBehavior(2, [Segment(2.0, RESOURCE_LOCAL)]),
+        3: VertexBehavior(3, [Segment(2.0, RESOURCE_LOCAL)]),
+        4: VertexBehavior(4, [Segment(4.0)]),
+        5: VertexBehavior(5, [Segment(2.0)]),
+        6: VertexBehavior(6, [Segment(2.0)]),
+        7: VertexBehavior(7, [Segment(2.0)]),
+    }
+    return task, behaviors
+
+
+def build_task_j() -> Tuple[DAGTask, Dict[int, VertexBehavior]]:
+    """Task τj of Fig. 1(a): 6 vertices, longest path of length 6."""
+    wcets = [1.0, 3.0, 3.0, 4.0, 4.0, 1.0]
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 4),
+        (1, 5), (2, 5), (3, 5), (4, 5),
+    ]
+    dag = DAG(6, edges)
+    vertices = [
+        Vertex(0, wcets[0]),
+        Vertex(1, wcets[1]),
+        Vertex(2, wcets[2], requests={RESOURCE_GLOBAL: 1}),
+        Vertex(3, wcets[3]),
+        Vertex(4, wcets[4]),
+        Vertex(5, wcets[5]),
+    ]
+    usages = [ResourceUsage(RESOURCE_GLOBAL, max_requests=1, cs_length=3.0)]
+    task = DAGTask(
+        task_id=1,
+        vertices=vertices,
+        dag=dag,
+        period=25.0,
+        deadline=25.0,
+        resource_usages=usages,
+        priority=2,
+        name="tau_j",
+    )
+    behaviors = {
+        0: VertexBehavior(0, [Segment(1.0)]),
+        1: VertexBehavior(1, [Segment(3.0)]),
+        2: VertexBehavior(2, [Segment(3.0, RESOURCE_GLOBAL)]),
+        3: VertexBehavior(3, [Segment(4.0)]),
+        4: VertexBehavior(4, [Segment(4.0)]),
+        5: VertexBehavior(5, [Segment(1.0)]),
+    }
+    return task, behaviors
+
+
+def build_figure1_system() -> Tuple[PartitionedSystem, Dict[int, Dict[int, VertexBehavior]]]:
+    """The complete Fig. 1 system: task set, clusters, resource placement, behaviours.
+
+    Task τj owns processors {0, 1}, task τi owns processors {2, 3}, and the
+    global resource ℓ1 is assigned to processor 1 (℘2 in the paper's
+    1-based numbering).
+    """
+    task_i, behaviors_i = build_task_i()
+    task_j, behaviors_j = build_task_j()
+    taskset = TaskSet(
+        [task_i, task_j],
+        resources=[Resource(RESOURCE_GLOBAL, "l1"), Resource(RESOURCE_LOCAL, "l2")],
+    )
+    platform = Platform(4)
+    clusters = {
+        task_j.task_id: Cluster(task_j.task_id, [0, 1]),
+        task_i.task_id: Cluster(task_i.task_id, [2, 3]),
+    }
+    partition = PartitionedSystem(
+        taskset, platform, clusters, {RESOURCE_GLOBAL: 1}
+    )
+    behaviors = {task_i.task_id: behaviors_i, task_j.task_id: behaviors_j}
+    return partition, behaviors

@@ -1,0 +1,598 @@
+"""Event-driven simulator of the DPCP-p runtime protocol (Sec. III).
+
+The simulator executes jobs of parallel DAG tasks on a partitioned platform
+under federated scheduling with the DPCP-p locking rules:
+
+* per-task queues ``RQ^N`` (non-critical, FIFO), ``RQ^L`` (local critical
+  sections, FIFO, served before ``RQ^N``) and ``SQ`` (suspended vertices);
+* per-processor queues ``RQ^G`` (granted global requests, priority ordered)
+  and ``SQ^G`` (global requests waiting for the priority-ceiling test);
+* Rules 1–4 of Sec. III-C, with request agents executing on the resource's
+  home processor at an effective priority above every base priority.
+
+The simulator is intended for validation (Lemma 1, mutual exclusion,
+analysis-bound checks) and for reproducing illustrative schedules such as
+Fig. 1 — it is not meant to be cycle-accurate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.platform import PartitionedSystem
+from ..model.task import DAGTask, TaskSet
+from .behaviors import Segment, VertexBehavior, behaviors_from_task, validate_behaviors
+from .trace import ExecutionInterval, JobRecord, RequestRecord, SimulationTrace
+
+_EPS = 1e-9
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator reaches an inconsistent state."""
+
+
+# --------------------------------------------------------------------------- #
+# Runtime entities
+# --------------------------------------------------------------------------- #
+@dataclass
+class _VertexInstance:
+    """A vertex of one released job, with its remaining execution segments."""
+
+    task_id: int
+    job_id: int
+    vertex: int
+    priority: int
+    segments: List[Segment]
+    segment_index: int = 0
+    remaining_in_segment: float = 0.0
+    pending_predecessors: int = 0
+
+    def __post_init__(self) -> None:
+        if self.segments:
+            self.remaining_in_segment = self.segments[0].duration
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        return (self.task_id, self.job_id, self.vertex)
+
+    @property
+    def current_segment(self) -> Optional[Segment]:
+        if self.segment_index >= len(self.segments):
+            return None
+        return self.segments[self.segment_index]
+
+    def advance_segment(self) -> None:
+        """Move to the next segment."""
+        self.segment_index += 1
+        segment = self.current_segment
+        self.remaining_in_segment = segment.duration if segment else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.segment_index >= len(self.segments)
+
+
+@dataclass
+class _Request:
+    """A pending or executing global-resource request (an RPC agent)."""
+
+    task_id: int
+    job_id: int
+    vertex: int
+    resource: int
+    priority: int
+    processor: int
+    remaining: float
+    record: RequestRecord
+
+    @property
+    def key(self) -> Tuple[int, int, int, int]:
+        return (self.task_id, self.job_id, self.vertex, self.resource)
+
+
+@dataclass
+class _RunningChunk:
+    """What a processor is currently executing."""
+
+    kind: str  # "vertex" or "agent"
+    vertex: Optional[_VertexInstance]
+    request: Optional[_Request]
+    start_time: float
+    sequence: int
+    resource: Optional[int] = None
+
+
+@dataclass
+class _JobState:
+    """Book-keeping of one released job."""
+
+    task_id: int
+    job_id: int
+    release_time: float
+    unfinished_vertices: int
+
+
+# --------------------------------------------------------------------------- #
+# The simulator
+# --------------------------------------------------------------------------- #
+class DpcpPSimulator:
+    """Discrete-event simulator of DPCP-p on a partitioned system.
+
+    Parameters
+    ----------
+    partition:
+        The task/resource partition to simulate (clusters and global-resource
+        home processors).
+    behaviors:
+        Optional ``task id -> {vertex -> VertexBehavior}``; derived
+        automatically (requests spread evenly) when omitted.
+    """
+
+    def __init__(
+        self,
+        partition: PartitionedSystem,
+        behaviors: Optional[Dict[int, Dict[int, VertexBehavior]]] = None,
+    ) -> None:
+        self.partition = partition
+        self.taskset: TaskSet = partition.taskset
+        self.behaviors: Dict[int, Dict[int, VertexBehavior]] = {}
+        for task in self.taskset:
+            if behaviors and task.task_id in behaviors:
+                validate_behaviors(task, behaviors[task.task_id])
+                self.behaviors[task.task_id] = behaviors[task.task_id]
+            else:
+                self.behaviors[task.task_id] = behaviors_from_task(task)
+
+        self.trace = SimulationTrace()
+        self.now = 0.0
+
+        # Event queue: (time, order, kind, payload)
+        self._events: List[Tuple[float, int, str, object]] = []
+        self._event_counter = itertools.count()
+        self._chunk_counter = itertools.count()
+
+        # Scheduling state.
+        self._running: Dict[int, Optional[_RunningChunk]] = {
+            proc: None for proc in partition.platform.processors
+        }
+        self._rq_n: Dict[int, List[_VertexInstance]] = {
+            t.task_id: [] for t in self.taskset
+        }
+        self._rq_l: Dict[int, List[_VertexInstance]] = {
+            t.task_id: [] for t in self.taskset
+        }
+        self._suspended: Dict[int, List[_VertexInstance]] = {
+            t.task_id: [] for t in self.taskset
+        }
+        self._rq_g: Dict[int, List[_Request]] = {
+            proc: [] for proc in partition.platform.processors
+        }
+        self._sq_g: Dict[int, List[_Request]] = {
+            proc: [] for proc in partition.platform.processors
+        }
+
+        # Lock state.
+        self._local_lock_holder: Dict[Tuple[int, int], Optional[_VertexInstance]] = {}
+        self._local_waiters: Dict[Tuple[int, int], List[_VertexInstance]] = {}
+        self._global_lock_holder: Dict[int, Optional[_Request]] = {
+            rid: None for rid in self.taskset.global_resources()
+        }
+
+        self._jobs: Dict[Tuple[int, int], _JobState] = {}
+        self._instances_by_job: Dict[Tuple[int, int], Dict[int, _VertexInstance]] = {}
+        self._job_counters: Dict[int, int] = {t.task_id: 0 for t in self.taskset}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def release_job(self, task_id: int, release_time: float) -> int:
+        """Schedule the release of one job of ``task_id`` at ``release_time``."""
+        if release_time < 0:
+            raise SimulationError("release time must be non-negative")
+        job_id = self._job_counters[task_id]
+        self._job_counters[task_id] += 1
+        self._push_event(release_time, "release", (task_id, job_id))
+        task = self.taskset.task(task_id)
+        self.trace.add_job(
+            JobRecord(
+                task_id=task_id,
+                job_id=job_id,
+                release_time=release_time,
+                absolute_deadline=release_time + task.deadline,
+            )
+        )
+        return job_id
+
+    def release_periodic_jobs(self, horizon: float, offset: float = 0.0) -> None:
+        """Release strictly periodic jobs of every task up to ``horizon``."""
+        for task in self.taskset:
+            release = offset
+            while release < horizon - _EPS:
+                self.release_job(task.task_id, release)
+                release += task.period
+
+    def run(self, until: Optional[float] = None) -> SimulationTrace:
+        """Run the simulation until the event queue drains (or ``until``)."""
+        while self._events:
+            if until is not None and self._events[0][0] > until + _EPS:
+                break
+            time, _, kind, payload = heapq.heappop(self._events)
+            if time < self.now - _EPS:
+                raise SimulationError("event time went backwards")
+            self.now = max(self.now, time)
+            self._handle_event(kind, payload)
+            # Process all simultaneous events before rescheduling.
+            while self._events and abs(self._events[0][0] - self.now) <= _EPS:
+                _, _, next_kind, next_payload = heapq.heappop(self._events)
+                self._handle_event(next_kind, next_payload)
+            self._schedule_processors()
+        return self.trace
+
+    # ------------------------------------------------------------------ #
+    # Event handling
+    # ------------------------------------------------------------------ #
+    def _push_event(self, time: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (time, next(self._event_counter), kind, payload))
+
+    def _handle_event(self, kind: str, payload: object) -> None:
+        if kind == "release":
+            task_id, job_id = payload
+            self._handle_release(task_id, job_id)
+        elif kind == "chunk_done":
+            processor, sequence = payload
+            self._handle_chunk_completion(processor, sequence)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {kind!r}")
+
+    def _handle_release(self, task_id: int, job_id: int) -> None:
+        task = self.taskset.task(task_id)
+        behaviors = self.behaviors[task_id]
+        instances: Dict[int, _VertexInstance] = {}
+        for vertex in task.vertices:
+            instance = _VertexInstance(
+                task_id=task_id,
+                job_id=job_id,
+                vertex=vertex.index,
+                priority=task.priority,
+                segments=list(behaviors[vertex.index].segments),
+                pending_predecessors=len(task.dag.predecessors(vertex.index)),
+            )
+            instances[vertex.index] = instance
+        self._jobs[(task_id, job_id)] = _JobState(
+            task_id=task_id,
+            job_id=job_id,
+            release_time=self.now,
+            unfinished_vertices=len(instances),
+        )
+        self._instances_by_job[(task_id, job_id)] = instances
+        for vertex_index, instance in instances.items():
+            if instance.pending_predecessors == 0:
+                self._make_eligible(instance)
+
+    def _make_eligible(self, instance: _VertexInstance) -> None:
+        """A vertex whose predecessors have finished becomes pending."""
+        if instance.finished or instance.current_segment is None:
+            self._complete_vertex(instance)
+            return
+        self._dispatch_segment(instance)
+
+    def _dispatch_segment(self, instance: _VertexInstance) -> None:
+        """Place a vertex according to its current segment (Rules 1-3)."""
+        segment = instance.current_segment
+        if segment is None:
+            self._complete_vertex(instance)
+            return
+        if segment.duration <= _EPS:
+            instance.advance_segment()
+            self._dispatch_segment(instance)
+            return
+        if not segment.is_critical:
+            self._rq_n[instance.task_id].append(instance)
+            return
+        resource = segment.resource
+        if self.taskset.is_global(resource):
+            self._issue_global_request(instance, resource, segment.duration)
+        else:
+            self._issue_local_request(instance, resource)
+
+    # ------------------------------------------------------------------ #
+    # Local resources (Rules 1, 2)
+    # ------------------------------------------------------------------ #
+    def _issue_local_request(self, instance: _VertexInstance, resource: int) -> None:
+        key = (instance.task_id, resource)
+        holder = self._local_lock_holder.get(key)
+        if holder is None:
+            self._local_lock_holder[key] = instance
+            self._rq_l[instance.task_id].append(instance)
+        else:
+            self._suspended[instance.task_id].append(instance)
+            self._local_waiters.setdefault(key, []).append(instance)
+
+    def _release_local_lock(self, instance: _VertexInstance, resource: int) -> None:
+        key = (instance.task_id, resource)
+        if self._local_lock_holder.get(key) is not instance:
+            raise SimulationError("local lock released by a non-holder")
+        self._local_lock_holder[key] = None
+        waiters = self._local_waiters.get(key, [])
+        if waiters:
+            successor = waiters.pop(0)
+            self._suspended[instance.task_id].remove(successor)
+            self._local_lock_holder[key] = successor
+            self._rq_l[successor.task_id].append(successor)
+
+    # ------------------------------------------------------------------ #
+    # Global resources (Rules 3, 4) and the priority ceiling
+    # ------------------------------------------------------------------ #
+    def _issue_global_request(
+        self, instance: _VertexInstance, resource: int, duration: float
+    ) -> None:
+        processor = self.partition.processor_of_resource(resource)
+        record = RequestRecord(
+            task_id=instance.task_id,
+            job_id=instance.job_id,
+            vertex=instance.vertex,
+            resource=resource,
+            priority=instance.priority,
+            issue_time=self.now,
+        )
+        self.trace.requests.append(record)
+        request = _Request(
+            task_id=instance.task_id,
+            job_id=instance.job_id,
+            vertex=instance.vertex,
+            resource=resource,
+            priority=instance.priority,
+            processor=processor,
+            remaining=duration,
+            record=record,
+        )
+        self._suspended[instance.task_id].append(instance)
+        if self._ceiling_allows(processor, request):
+            self._grant(request)
+        else:
+            self._sq_g[processor].append(request)
+
+    def _processor_ceiling(self, processor: int) -> Optional[int]:
+        """Highest ceiling among global resources locked on ``processor``."""
+        ceiling: Optional[int] = None
+        for rid in self.partition.resources_on_processor(processor):
+            holder = self._global_lock_holder.get(rid)
+            if holder is None:
+                continue
+            resource_ceiling = self.taskset.resource_ceiling(rid)
+            if ceiling is None or resource_ceiling > ceiling:
+                ceiling = resource_ceiling
+        return ceiling
+
+    def _ceiling_allows(self, processor: int, request: _Request) -> bool:
+        ceiling = self._processor_ceiling(processor)
+        return ceiling is None or request.priority > ceiling
+
+    def _grant(self, request: _Request) -> None:
+        if self._global_lock_holder.get(request.resource) is not None:
+            raise SimulationError(
+                f"resource {request.resource} granted while already locked"
+            )
+        self._global_lock_holder[request.resource] = request
+        request.record.grant_time = self.now
+        self._rq_g[request.processor].append(request)
+
+    def _finish_request(self, request: _Request) -> None:
+        """Rule 4: the request releases its lock and the vertex resumes."""
+        if self._global_lock_holder.get(request.resource) is not request:
+            raise SimulationError("global lock released by a non-holder")
+        self._global_lock_holder[request.resource] = None
+        request.record.finish_time = self.now
+        self._rq_g[request.processor].remove(request)
+        # Wake waiting requests that now pass the ceiling test, in priority order.
+        self._admit_from_sq_g(request.processor)
+        # The requesting vertex resumes with its next segment.
+        instance = self._find_instance(request.task_id, request.job_id, request.vertex)
+        self._suspended[request.task_id].remove(instance)
+        instance.advance_segment()
+        self._dispatch_segment(instance)
+
+    def _admit_from_sq_g(self, processor: int) -> None:
+        waiting = self._sq_g[processor]
+        while waiting:
+            candidate = max(waiting, key=lambda r: r.priority)
+            if not self._ceiling_allows(processor, candidate):
+                break
+            if self._global_lock_holder.get(candidate.resource) is not None:
+                break
+            waiting.remove(candidate)
+            self._grant(candidate)
+
+    # ------------------------------------------------------------------ #
+    # Vertex completion and precedence
+    # ------------------------------------------------------------------ #
+    def _complete_vertex(self, instance: _VertexInstance) -> None:
+        job_key = (instance.task_id, instance.job_id)
+        job_state = self._jobs[job_key]
+        job_state.unfinished_vertices -= 1
+        task = self.taskset.task(instance.task_id)
+        instances = self._instances_by_job[job_key]
+        for successor in task.dag.successors(instance.vertex):
+            successor_instance = instances[successor]
+            successor_instance.pending_predecessors -= 1
+            if successor_instance.pending_predecessors == 0:
+                self._make_eligible(successor_instance)
+        if job_state.unfinished_vertices == 0:
+            self.trace.job(instance.task_id, instance.job_id).finish_time = self.now
+
+    def _find_instance(self, task_id: int, job_id: int, vertex: int) -> _VertexInstance:
+        return self._instances_by_job[(task_id, job_id)][vertex]
+
+    # ------------------------------------------------------------------ #
+    # Processor scheduling (work-conserving, agents first)
+    # ------------------------------------------------------------------ #
+    def _schedule_processors(self) -> None:
+        for processor in self.partition.platform.processors:
+            self._schedule_processor(processor)
+
+    def _schedule_processor(self, processor: int) -> None:
+        running = self._running[processor]
+        best_agent = self._best_waiting_agent(processor)
+
+        if best_agent is not None:
+            if running is None:
+                self._start_agent(processor, best_agent)
+                return
+            if running.kind == "vertex":
+                self._preempt(processor)
+                self._start_agent(processor, best_agent)
+                return
+            if running.kind == "agent" and best_agent.priority > running.request.priority:
+                self._preempt(processor)
+                self._start_agent(processor, best_agent)
+                return
+            return
+
+        if running is not None:
+            return
+
+        owner = self.partition.owner_of_processor(processor)
+        if owner is None:
+            return
+        instance = self._next_ready_vertex(owner)
+        if instance is not None:
+            self._start_vertex(processor, instance)
+
+    def _best_waiting_agent(self, processor: int) -> Optional[_Request]:
+        executing = {
+            chunk.request.key
+            for chunk in self._running.values()
+            if chunk is not None and chunk.kind == "agent"
+        }
+        candidates = [r for r in self._rq_g[processor] if r.key not in executing]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.priority)
+
+    def _next_ready_vertex(self, task_id: int) -> Optional[_VertexInstance]:
+        if self._rq_l[task_id]:
+            return self._rq_l[task_id].pop(0)
+        if self._rq_n[task_id]:
+            return self._rq_n[task_id].pop(0)
+        return None
+
+    def _start_vertex(self, processor: int, instance: _VertexInstance) -> None:
+        segment = instance.current_segment
+        if segment is None:
+            self._complete_vertex(instance)
+            return
+        sequence = next(self._chunk_counter)
+        self._running[processor] = _RunningChunk(
+            kind="vertex",
+            vertex=instance,
+            request=None,
+            start_time=self.now,
+            sequence=sequence,
+            resource=segment.resource,
+        )
+        self._push_event(
+            self.now + instance.remaining_in_segment, "chunk_done", (processor, sequence)
+        )
+
+    def _start_agent(self, processor: int, request: _Request) -> None:
+        sequence = next(self._chunk_counter)
+        self._running[processor] = _RunningChunk(
+            kind="agent",
+            vertex=None,
+            request=request,
+            start_time=self.now,
+            sequence=sequence,
+            resource=request.resource,
+        )
+        self._push_event(self.now + request.remaining, "chunk_done", (processor, sequence))
+
+    def _preempt(self, processor: int) -> None:
+        """Stop the chunk running on ``processor`` and put the work back."""
+        chunk = self._running[processor]
+        if chunk is None:
+            return
+        elapsed = self.now - chunk.start_time
+        self._record_interval(processor, chunk, self.now)
+        if chunk.kind == "vertex":
+            instance = chunk.vertex
+            instance.remaining_in_segment = max(
+                0.0, instance.remaining_in_segment - elapsed
+            )
+            segment = instance.current_segment
+            if segment is not None and segment.is_critical:
+                self._rq_l[instance.task_id].insert(0, instance)
+            else:
+                self._rq_n[instance.task_id].insert(0, instance)
+        else:
+            request = chunk.request
+            request.remaining = max(0.0, request.remaining - elapsed)
+            # The request stays in RQ^G (it still holds the lock).
+        self._running[processor] = None
+
+    def _handle_chunk_completion(self, processor: int, sequence: int) -> None:
+        chunk = self._running[processor]
+        if chunk is None or chunk.sequence != sequence:
+            return  # stale event (the chunk was preempted)
+        self._record_interval(processor, chunk, self.now)
+        self._running[processor] = None
+        if chunk.kind == "vertex":
+            instance = chunk.vertex
+            segment = instance.current_segment
+            instance.remaining_in_segment = 0.0
+            if segment is not None and segment.is_critical:
+                self._release_local_lock(instance, segment.resource)
+            instance.advance_segment()
+            if instance.finished:
+                self._complete_vertex(instance)
+            else:
+                self._dispatch_segment(instance)
+        else:
+            request = chunk.request
+            request.remaining = 0.0
+            self._finish_request(request)
+
+    def _record_interval(
+        self, processor: int, chunk: _RunningChunk, end_time: float
+    ) -> None:
+        if chunk.kind == "vertex":
+            instance = chunk.vertex
+            self.trace.add_interval(
+                ExecutionInterval(
+                    processor=processor,
+                    start=chunk.start_time,
+                    end=end_time,
+                    task_id=instance.task_id,
+                    job_id=instance.job_id,
+                    vertex=instance.vertex,
+                    resource=chunk.resource,
+                    is_agent=False,
+                )
+            )
+        else:
+            request = chunk.request
+            self.trace.add_interval(
+                ExecutionInterval(
+                    processor=processor,
+                    start=chunk.start_time,
+                    end=end_time,
+                    task_id=request.task_id,
+                    job_id=request.job_id,
+                    vertex=request.vertex,
+                    resource=request.resource,
+                    is_agent=True,
+                )
+            )
+
+
+def simulate_periodic(
+    partition: PartitionedSystem,
+    horizon: float,
+    behaviors: Optional[Dict[int, Dict[int, VertexBehavior]]] = None,
+) -> SimulationTrace:
+    """Convenience wrapper: release periodic jobs up to ``horizon`` and run."""
+    simulator = DpcpPSimulator(partition, behaviors)
+    simulator.release_periodic_jobs(horizon)
+    return simulator.run()

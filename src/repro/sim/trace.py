@@ -1,0 +1,235 @@
+"""Schedule traces and invariant checks for the DPCP-p simulator.
+
+The simulator records every execution interval (vertex or agent), every lock
+grant/release, and every request's life cycle.  The checkers validate the
+protocol properties the paper relies on:
+
+* no two overlapping executions on one processor,
+* mutual exclusion per resource,
+* Lemma 1 — a pending global request is blocked by at most one
+  lower-priority request, and
+* deadline compliance (used when comparing against the analytical bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ExecutionInterval:
+    """One contiguous execution of a vertex or agent on a processor."""
+
+    processor: int
+    start: float
+    end: float
+    task_id: int
+    job_id: int
+    vertex: int
+    #: Resource id when the interval is a critical section (local or via an
+    #: agent), ``None`` for non-critical execution.
+    resource: Optional[int] = None
+    #: ``True`` when the interval is executed by a resource agent on the
+    #: resource's home processor (global resources only).
+    is_agent: bool = False
+
+
+@dataclass
+class RequestRecord:
+    """Life cycle of one global-resource request."""
+
+    task_id: int
+    job_id: int
+    vertex: int
+    resource: int
+    priority: int
+    issue_time: float
+    grant_time: Optional[float] = None
+    finish_time: Optional[float] = None
+
+
+@dataclass
+class JobRecord:
+    """Release/finish record of one job."""
+
+    task_id: int
+    job_id: int
+    release_time: float
+    absolute_deadline: float
+    finish_time: Optional[float] = None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Response time, or ``None`` if the job has not finished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.release_time
+
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        """Whether the job met its deadline (``None`` if unfinished)."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time <= self.absolute_deadline + _EPS
+
+
+@dataclass
+class SimulationTrace:
+    """Complete record of one simulation run."""
+
+    intervals: List[ExecutionInterval] = field(default_factory=list)
+    requests: List[RequestRecord] = field(default_factory=list)
+    jobs: Dict[Tuple[int, int], JobRecord] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Recording helpers (used by the simulator)
+    # ------------------------------------------------------------------ #
+    def add_interval(self, interval: ExecutionInterval) -> None:
+        """Record an execution interval (zero-length intervals are dropped)."""
+        if interval.end - interval.start > _EPS:
+            self.intervals.append(interval)
+
+    def add_job(self, record: JobRecord) -> None:
+        """Register a released job."""
+        self.jobs[(record.task_id, record.job_id)] = record
+
+    def job(self, task_id: int, job_id: int) -> JobRecord:
+        """Look up a job record."""
+        return self.jobs[(task_id, job_id)]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def response_times(self) -> Dict[int, List[float]]:
+        """Observed response times per task (finished jobs only)."""
+        result: Dict[int, List[float]] = {}
+        for record in self.jobs.values():
+            if record.response_time is not None:
+                result.setdefault(record.task_id, []).append(record.response_time)
+        return result
+
+    def worst_response_time(self, task_id: int) -> Optional[float]:
+        """Largest observed response time of a task."""
+        times = self.response_times().get(task_id)
+        return max(times) if times else None
+
+    def deadline_misses(self) -> List[JobRecord]:
+        """Finished jobs that missed their deadline."""
+        return [r for r in self.jobs.values() if r.deadline_met is False]
+
+    def intervals_on(self, processor: int) -> List[ExecutionInterval]:
+        """Execution intervals on one processor, sorted by start time."""
+        return sorted(
+            (i for i in self.intervals if i.processor == processor),
+            key=lambda i: i.start,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Invariant checks
+    # ------------------------------------------------------------------ #
+    def check_processor_exclusivity(self) -> List[str]:
+        """No processor executes two intervals at the same time."""
+        problems: List[str] = []
+        processors = {i.processor for i in self.intervals}
+        for processor in processors:
+            ordered = self.intervals_on(processor)
+            for first, second in zip(ordered, ordered[1:]):
+                if second.start < first.end - _EPS:
+                    problems.append(
+                        f"processor {processor}: overlapping executions "
+                        f"[{first.start}, {first.end}) and [{second.start}, {second.end})"
+                    )
+        return problems
+
+    def check_mutual_exclusion(self) -> List[str]:
+        """No two critical sections on the same resource overlap in time."""
+        problems: List[str] = []
+        by_resource: Dict[int, List[ExecutionInterval]] = {}
+        for interval in self.intervals:
+            if interval.resource is not None:
+                by_resource.setdefault(interval.resource, []).append(interval)
+        for resource, intervals in by_resource.items():
+            ordered = sorted(intervals, key=lambda i: i.start)
+            for first, second in zip(ordered, ordered[1:]):
+                if second.start < first.end - _EPS:
+                    problems.append(
+                        f"resource {resource}: overlapping critical sections "
+                        f"[{first.start}, {first.end}) and [{second.start}, {second.end})"
+                    )
+        return problems
+
+    def check_lemma1(self) -> List[str]:
+        """Lemma 1: each request is blocked by at most one lower-priority request.
+
+        For every granted request we count the *distinct* lower-priority
+        requests (to any resource) that were granted their lock within the
+        request's pending window ``[issue, grant)``.
+        """
+        problems: List[str] = []
+        for request in self.requests:
+            if request.grant_time is None:
+                continue
+            blockers = 0
+            for other in self.requests:
+                if other is request or other.grant_time is None:
+                    continue
+                if other.priority >= request.priority:
+                    continue
+                # The lower-priority request blocks ours if it holds its lock
+                # during our pending window.
+                other_end = other.finish_time if other.finish_time is not None else float("inf")
+                overlaps = (
+                    other.grant_time < request.grant_time - _EPS
+                    and other_end > request.issue_time + _EPS
+                )
+                if overlaps:
+                    blockers += 1
+            if blockers > 1:
+                problems.append(
+                    f"request of task {request.task_id} (vertex {request.vertex}, "
+                    f"resource {request.resource}) blocked by {blockers} "
+                    "lower-priority requests"
+                )
+        return problems
+
+    def check_all(self) -> List[str]:
+        """Run every invariant check and return the concatenated problems."""
+        return (
+            self.check_processor_exclusivity()
+            + self.check_mutual_exclusion()
+            + self.check_lemma1()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def render_gantt(self, time_step: float = 1.0, width: int = 80) -> str:
+        """Render a coarse textual Gantt chart of the schedule."""
+        if not self.intervals:
+            return "(empty trace)"
+        horizon = max(i.end for i in self.intervals)
+        steps = min(width, max(1, int(round(horizon / time_step))))
+        step = horizon / steps
+        processors = sorted({i.processor for i in self.intervals})
+        lines = [f"time 0 .. {horizon:.1f} ({step:.2f} per column)"]
+        for processor in processors:
+            cells = []
+            for column in range(steps):
+                t = (column + 0.5) * step
+                label = "."
+                for interval in self.intervals_on(processor):
+                    if interval.start - _EPS <= t < interval.end + _EPS:
+                        if interval.is_agent:
+                            label = "A"
+                        elif interval.resource is not None:
+                            label = "C"
+                        else:
+                            label = str(interval.task_id % 10)
+                        break
+                cells.append(label)
+            lines.append(f"P{processor:<3d}|" + "".join(cells))
+        lines.append("legend: digit = task's non-critical work, C = local CS, A = agent CS, . = idle")
+        return "\n".join(lines)

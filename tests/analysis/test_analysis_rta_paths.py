@@ -1,0 +1,184 @@
+"""Tests for the fixed-point helpers and the path enumerator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.paths import PathEnumerator, critical_path_only
+from repro.analysis.rta import ceil_div_jobs, least_fixed_point
+from repro.model.dag import DAG
+from repro.model.resources import ResourceUsage
+from repro.model.task import DAGTask, Vertex
+
+
+# --------------------------------------------------------------------------- #
+# least_fixed_point
+# --------------------------------------------------------------------------- #
+def test_fixed_point_constant_recurrence():
+    assert least_fixed_point(lambda x: 5.0, 5.0, 100.0) == pytest.approx(5.0)
+
+
+def test_fixed_point_affine_recurrence():
+    # x = 2 + 0.5 x  ->  x = 4
+    solution = least_fixed_point(lambda x: 2.0 + 0.5 * x, 2.0, 100.0)
+    assert solution == pytest.approx(4.0, abs=1e-4)
+
+
+def test_fixed_point_step_recurrence():
+    # Classic RTA shape: x = 1 + ceil(x / 4) * 2 -> least fixed point is 3.
+    solution = least_fixed_point(lambda x: 1.0 + math.ceil(x / 4.0) * 2.0, 1.0, 100.0)
+    assert solution == pytest.approx(3.0)
+
+
+def test_fixed_point_divergence_returns_none():
+    assert least_fixed_point(lambda x: x + 1.0, 0.0, 50.0) is None
+
+
+def test_fixed_point_start_beyond_bound_returns_none():
+    assert least_fixed_point(lambda x: x, 10.0, 5.0) is None
+
+
+def test_fixed_point_rejects_nan_and_inf():
+    assert least_fixed_point(lambda x: float("nan"), 1.0, 10.0) is None
+    assert least_fixed_point(lambda x: x, float("inf"), 10.0) is None
+
+
+@given(
+    constant=st.floats(min_value=0.1, max_value=10.0),
+    slope=st.floats(min_value=0.0, max_value=0.9),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_affine_fixed_point(constant, slope):
+    expected = constant / (1.0 - slope)
+    bound = expected * 2 + 10
+    solution = least_fixed_point(lambda x: constant + slope * x, constant, bound)
+    assert solution is not None
+    assert solution == pytest.approx(expected, rel=1e-3, abs=1e-3)
+
+
+# --------------------------------------------------------------------------- #
+# ceil_div_jobs (eta)
+# --------------------------------------------------------------------------- #
+def test_ceil_div_jobs_basic():
+    # eta(L) = ceil((L + R) / T)
+    assert ceil_div_jobs(10.0, 10.0, 10.0) == 2
+    assert ceil_div_jobs(0.0, 10.0, 10.0) == 1
+    assert ceil_div_jobs(25.0, 10.0, 5.0) == 3
+    assert ceil_div_jobs(-5.0, 10.0, 5.0) == 1
+
+
+def test_ceil_div_jobs_requires_positive_period():
+    with pytest.raises(ValueError):
+        ceil_div_jobs(1.0, 0.0, 1.0)
+
+
+@given(
+    interval=st.floats(min_value=0, max_value=1e6),
+    period=st.floats(min_value=1.0, max_value=1e6),
+    response=st.floats(min_value=0, max_value=1e6),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_eta_monotone(interval, period, response):
+    eta = ceil_div_jobs(interval, period, response)
+    assert eta >= 0
+    assert ceil_div_jobs(interval + period, period, response) >= eta
+    assert ceil_div_jobs(interval, period, response + period) >= eta
+
+
+# --------------------------------------------------------------------------- #
+# Path enumeration
+# --------------------------------------------------------------------------- #
+def build_task_with_paths():
+    """A diamond task where the two branches differ in resource usage."""
+    dag = DAG(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    vertices = [
+        Vertex(0, 2.0),
+        Vertex(1, 5.0, requests={9: 1}),
+        Vertex(2, 5.0),
+        Vertex(3, 1.0),
+    ]
+    usages = [ResourceUsage(9, 1, 1.0)]
+    return DAGTask(0, vertices, dag, period=100.0, resource_usages=usages)
+
+
+def test_enumerator_distinguishes_paths_by_requests():
+    task = build_task_with_paths()
+    result = PathEnumerator().enumerate(task)
+    assert result.exhaustive
+    # Both paths have length 8 but different request vectors -> 2 signatures.
+    assert len(result.profiles) == 2
+    requests = sorted(p.request_count(9) for p in result.profiles)
+    assert requests == [0, 1]
+
+
+def test_enumerator_deduplicates_equivalent_paths():
+    dag = DAG(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    vertices = [Vertex(0, 1.0), Vertex(1, 2.0), Vertex(2, 2.0), Vertex(3, 1.0)]
+    task = DAGTask(0, vertices, dag, period=50.0)
+    result = PathEnumerator().enumerate(task)
+    assert result.exhaustive
+    assert result.total_paths_seen == 2
+    assert len(result.profiles) == 1  # identical signatures collapse
+
+
+def test_enumerator_caches_results():
+    task = build_task_with_paths()
+    enumerator = PathEnumerator()
+    first = enumerator.enumerate(task)
+    second = enumerator.enumerate(task)
+    assert first is second
+    enumerator.clear()
+    assert enumerator.enumerate(task) is not first
+
+
+def test_enumerator_cap_falls_back_to_critical_path():
+    # A wide parallel DAG with an exponential number of paths.
+    layers = 10
+    edges = []
+    n = 2 * layers
+    for layer in range(layers - 1):
+        for a in (2 * layer, 2 * layer + 1):
+            for b in (2 * layer + 2, 2 * layer + 3):
+                edges.append((a, b))
+    dag = DAG(n, edges)
+    vertices = [Vertex(i, 1.0) for i in range(n)]
+    task = DAGTask(0, vertices, dag, period=1000.0)
+    enumerator = PathEnumerator(max_signatures=4, max_paths=16)
+    result = enumerator.enumerate(task)
+    assert not result.exhaustive
+    assert len(result.profiles) >= 1
+    assert result.profiles[0].length == pytest.approx(task.critical_path_length)
+
+
+def test_enumerator_rejects_bad_caps():
+    with pytest.raises(ValueError):
+        PathEnumerator(max_signatures=0)
+    with pytest.raises(ValueError):
+        PathEnumerator(max_paths=0)
+
+
+def test_critical_path_only_helper():
+    task = build_task_with_paths()
+    result = critical_path_only(task)
+    assert not result.exhaustive
+    assert len(result.profiles) == 1
+    assert result.profiles[0].length == pytest.approx(task.critical_path_length)
+
+
+def test_enumerated_profiles_match_task_quantities(small_taskset):
+    enumerator = PathEnumerator()
+    for task in small_taskset:
+        result = enumerator.enumerate(task)
+        lstar = task.critical_path_length
+        assert result.profiles, "every task has at least one complete path"
+        longest = max(p.length for p in result.profiles)
+        if result.exhaustive:
+            assert longest == pytest.approx(lstar)
+        for profile in result.profiles:
+            assert profile.length <= lstar + 1e-6
+            for rid, count in profile.requests.items():
+                assert count <= task.request_count(rid)

@@ -1,0 +1,123 @@
+"""Integration tests across the full protocol suite on generated workloads."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    DpcpPEnTest,
+    DpcpPEpTest,
+    FedFpTest,
+    LppTest,
+    SpinTest,
+    default_protocols,
+)
+from repro.generation import (
+    DagGenerationConfig,
+    ResourceGenerationConfig,
+    TaskSetGenerationConfig,
+    generate_taskset,
+)
+from repro.model import Platform
+
+
+def quick_config(access_probability=0.6, request_max=6, cs_range=(15.0, 50.0)):
+    return TaskSetGenerationConfig(
+        average_utilization=1.5,
+        dag=DagGenerationConfig(num_vertices_range=(8, 18), edge_probability=0.15),
+        resources=ResourceGenerationConfig(
+            num_resources_range=(3, 5),
+            access_probability=access_probability,
+            request_count_range=(1, request_max),
+            cs_length_range=cs_range,
+        ),
+    )
+
+
+def test_default_protocols_names_and_order():
+    names = [p.name for p in default_protocols()]
+    assert names == ["DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP", "FED-FP"]
+
+
+def test_results_report_partition_and_task_analyses(small_taskset, platform16):
+    for protocol in default_protocols():
+        result = protocol.test(small_taskset, platform16)
+        assert result.protocol == protocol.name
+        if result.schedulable:
+            assert result.partition is not None
+            assert set(result.task_analyses) == {t.task_id for t in small_taskset}
+            for task in small_taskset:
+                analysis = result.task_analyses[task.task_id]
+                assert analysis.deadline == pytest.approx(task.deadline)
+                assert analysis.wcrt <= analysis.deadline + 1e-6
+                assert analysis.processors >= task.minimum_processors()
+
+
+def test_schedulable_result_is_truthy(small_taskset, platform16):
+    result = FedFpTest().test(small_taskset, platform16)
+    assert bool(result) == result.schedulable
+    assert result.wcrt(small_taskset.tasks[0].task_id) > 0
+    assert math.isinf(result.wcrt(999))
+
+
+def test_ep_accepts_whenever_en_accepts():
+    """The EP analysis is uniformly at least as accurate as EN (paper Table 2)."""
+    platform = Platform(16)
+    config = quick_config()
+    ep, en = DpcpPEpTest(), DpcpPEnTest()
+    en_accepted = 0
+    for seed in range(12):
+        taskset = generate_taskset(6.0, config, rng=100 + seed)
+        if en.test(taskset, platform).schedulable:
+            en_accepted += 1
+            assert ep.test(taskset, platform).schedulable
+    assert en_accepted > 0, "the scenario should not be trivially unschedulable"
+
+
+def test_fedfp_upper_bounds_all_protocols():
+    """FED-FP ignores resources, so it accepts whatever any other protocol accepts."""
+    platform = Platform(16)
+    config = quick_config(access_probability=0.8)
+    protocols = default_protocols()
+    fed = FedFpTest()
+    for seed in range(8):
+        taskset = generate_taskset(7.0, config, rng=300 + seed)
+        fed_ok = fed.test(taskset, platform).schedulable
+        for protocol in protocols:
+            if protocol.name == "FED-FP":
+                continue
+            if protocol.test(taskset, platform).schedulable:
+                assert fed_ok
+
+
+def test_protocols_agree_without_shared_resources():
+    """With no resource usage every protocol reduces to plain federated scheduling."""
+    platform = Platform(16)
+    config = TaskSetGenerationConfig(
+        average_utilization=1.5,
+        dag=DagGenerationConfig(num_vertices_range=(8, 15), edge_probability=0.15),
+        resources=ResourceGenerationConfig(
+            num_resources_range=(2, 3),
+            access_probability=0.0,
+            request_count_range=(1, 5),
+            cs_length_range=(15.0, 50.0),
+        ),
+    )
+    for seed in range(6):
+        taskset = generate_taskset(6.0, config, rng=500 + seed)
+        verdicts = {p.name: p.test(taskset, platform).schedulable for p in default_protocols()}
+        assert len(set(verdicts.values())) == 1, verdicts
+
+
+def test_heavier_contention_never_helps_dpcp_p():
+    """Acceptance under DPCP-p-EP should not improve when the platform shrinks."""
+    config = quick_config()
+    ep = DpcpPEpTest()
+    for seed in range(6):
+        taskset = generate_taskset(6.0, config, rng=700 + seed)
+        large = ep.test(taskset, Platform(24)).schedulable
+        small = ep.test(taskset, Platform(8)).schedulable
+        if small:
+            assert large, "more processors can only help"

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generation import (
+    DagGenerationConfig,
+    ResourceGenerationConfig,
+    TaskSetGenerationConfig,
+    generate_taskset,
+)
+from repro.model import Platform
+from repro.sim import build_figure1_system
+
+
+@pytest.fixture
+def small_generation_config() -> TaskSetGenerationConfig:
+    """A scaled-down generation configuration that keeps tests fast."""
+    return TaskSetGenerationConfig(
+        average_utilization=1.5,
+        dag=DagGenerationConfig(num_vertices_range=(8, 20), edge_probability=0.15),
+        resources=ResourceGenerationConfig(
+            num_resources_range=(3, 5),
+            access_probability=0.6,
+            request_count_range=(1, 8),
+            cs_length_range=(15.0, 50.0),
+        ),
+    )
+
+
+@pytest.fixture
+def small_taskset(small_generation_config):
+    """A deterministic small task set (total utilization 5)."""
+    return generate_taskset(5.0, small_generation_config, rng=12345)
+
+
+@pytest.fixture
+def medium_taskset(small_generation_config):
+    """A deterministic mid-size task set (total utilization 8)."""
+    return generate_taskset(8.0, small_generation_config, rng=4242)
+
+
+@pytest.fixture
+def platform16() -> Platform:
+    """A 16-processor platform."""
+    return Platform(16)
+
+
+@pytest.fixture
+def platform8() -> Platform:
+    """An 8-processor platform."""
+    return Platform(8)
+
+
+@pytest.fixture
+def figure1_system():
+    """The partitioned two-task system of the paper's Fig. 1."""
+    return build_figure1_system()

@@ -1,0 +1,134 @@
+"""Tests for experiment metrics (acceptance, dominance, outperformance) and tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics import (
+    PairwiseStatistics,
+    SweepCurve,
+    dominates,
+    outperforms,
+    weighted_acceptance,
+)
+from repro.experiments.tables import (
+    render_dominance_table,
+    render_outperformance_table,
+    table_rows,
+)
+
+
+def curve(protocol, ratios, samples=10):
+    c = SweepCurve(protocol=protocol)
+    for index, ratio in enumerate(ratios):
+        c.add_point(utilization=float(index + 1), accepted=int(round(ratio * samples)), sampled=samples)
+    return c
+
+
+# --------------------------------------------------------------------------- #
+# SweepCurve
+# --------------------------------------------------------------------------- #
+def test_sweep_curve_accumulates_points():
+    c = curve("A", [1.0, 0.5, 0.0])
+    assert c.acceptance_ratios == [1.0, 0.5, 0.0]
+    assert c.total_accepted == 15
+    assert c.total_sampled == 30
+    assert c.normalized_utilizations(4) == [0.25, 0.5, 0.75]
+
+
+def test_sweep_curve_validates_inputs():
+    c = SweepCurve(protocol="A")
+    with pytest.raises(ValueError):
+        c.add_point(1.0, accepted=5, sampled=0)
+    with pytest.raises(ValueError):
+        c.add_point(1.0, accepted=11, sampled=10)
+
+
+# --------------------------------------------------------------------------- #
+# Dominance / outperformance
+# --------------------------------------------------------------------------- #
+def test_outperforms_compares_totals():
+    a = curve("A", [1.0, 0.8])
+    b = curve("B", [0.9, 0.8])
+    assert outperforms(a, b)
+    assert not outperforms(b, a)
+    assert not outperforms(a, curve("C", [0.8, 1.0]))  # equal totals
+
+
+def test_dominates_requires_never_below_and_somewhere_above():
+    a = curve("A", [1.0, 0.8, 0.5])
+    b = curve("B", [0.9, 0.8, 0.5])
+    c = curve("C", [1.0, 0.9, 0.4])
+    assert dominates(a, b)
+    assert not dominates(b, a)
+    assert not dominates(a, c)  # crossover
+    assert not dominates(c, a)
+    assert not dominates(a, curve("D", [1.0, 0.8, 0.5]))  # identical curves
+
+
+def test_dominates_requires_matching_points():
+    with pytest.raises(ValueError):
+        dominates(curve("A", [1.0]), curve("B", [1.0, 0.5]))
+
+
+def test_pairwise_statistics_counts():
+    stats = PairwiseStatistics(protocols=["A", "B"])
+    stats.record_scenario({"A": curve("A", [1.0, 0.8]), "B": curve("B", [0.9, 0.8])})
+    stats.record_scenario({"A": curve("A", [0.5, 0.5]), "B": curve("B", [0.5, 0.5])})
+    assert stats.scenario_count == 2
+    assert stats.dominance["A"]["B"] == 1
+    assert stats.dominance["B"]["A"] == 0
+    assert stats.outperformance["A"]["B"] == 1
+    assert stats.dominance_fraction("A", "B") == pytest.approx(0.5)
+    assert stats.outperformance_fraction("B", "A") == pytest.approx(0.0)
+
+
+def test_pairwise_statistics_rejects_missing_curves():
+    stats = PairwiseStatistics(protocols=["A", "B"])
+    with pytest.raises(ValueError):
+        stats.record_scenario({"A": curve("A", [1.0])})
+
+
+def test_weighted_acceptance():
+    curves = [curve("A", [1.0, 0.0]), curve("A", [1.0, 1.0]), curve("B", [0.5, 0.5])]
+    aggregated = weighted_acceptance(curves)
+    assert aggregated["A"] == pytest.approx(0.75)
+    assert aggregated["B"] == pytest.approx(0.5)
+
+
+# --------------------------------------------------------------------------- #
+# Tables 2 and 3
+# --------------------------------------------------------------------------- #
+def build_stats():
+    stats = PairwiseStatistics(protocols=["DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP"])
+    for _ in range(4):
+        stats.record_scenario(
+            {
+                "DPCP-p-EP": curve("DPCP-p-EP", [1.0, 0.9]),
+                "DPCP-p-EN": curve("DPCP-p-EN", [0.9, 0.8]),
+                "SPIN": curve("SPIN", [0.8, 0.7]),
+                "LPP": curve("LPP", [0.7, 0.6]),
+            }
+        )
+    return stats
+
+
+def test_render_tables_include_counts_and_percentages():
+    stats = build_stats()
+    table2 = render_dominance_table(stats)
+    table3 = render_outperformance_table(stats)
+    assert "Table 2" in table2 and "Table 3" in table3
+    assert "4(100.0%)" in table2
+    assert "N/A" in table2
+    assert "DPCP-p-EP" in table3
+
+
+def test_table_rows_structure():
+    stats = build_stats()
+    rows = table_rows(stats, "dominance")
+    assert [row["protocol"] for row in rows] == ["DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP"]
+    first = rows[0]
+    assert first["DPCP-p-EP"] is None
+    assert first["SPIN"] == 4
+    with pytest.raises(ValueError):
+        table_rows(stats, "nonsense")

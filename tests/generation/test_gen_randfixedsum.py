@@ -1,0 +1,111 @@
+"""Tests for the RandFixedSum utilization generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generation.randfixedsum import (
+    GenerationError,
+    rand_fixed_sum,
+    utilizations_for_total,
+)
+
+
+def test_values_sum_to_total_and_respect_bounds():
+    values = rand_fixed_sum(5, 7.5, 1.0, 3.0, nsets=20, rng=1)
+    assert values.shape == (20, 5)
+    np.testing.assert_allclose(values.sum(axis=1), 7.5, rtol=1e-9)
+    assert (values >= 1.0 - 1e-9).all()
+    assert (values <= 3.0 + 1e-9).all()
+
+
+def test_single_value_case():
+    values = rand_fixed_sum(1, 2.0, 1.0, 3.0, nsets=3, rng=0)
+    np.testing.assert_allclose(values, 2.0)
+
+
+def test_degenerate_equal_bounds():
+    values = rand_fixed_sum(4, 8.0, 2.0, 2.0, nsets=2, rng=0)
+    np.testing.assert_allclose(values, 2.0)
+
+
+def test_infeasible_requests_raise():
+    with pytest.raises(GenerationError):
+        rand_fixed_sum(3, 10.0, 1.0, 2.0)  # max sum is 6
+    with pytest.raises(GenerationError):
+        rand_fixed_sum(3, 1.0, 1.0, 2.0)  # min sum is 3
+    with pytest.raises(GenerationError):
+        rand_fixed_sum(0, 1.0, 0.0, 2.0)
+    with pytest.raises(GenerationError):
+        rand_fixed_sum(3, 3.0, 2.0, 1.0)  # high < low
+
+
+def test_deterministic_with_seed():
+    a = rand_fixed_sum(4, 6.0, 1.0, 2.0, nsets=5, rng=42)
+    b = rand_fixed_sum(4, 6.0, 1.0, 2.0, nsets=5, rng=42)
+    np.testing.assert_allclose(a, b)
+
+
+def test_distribution_is_not_degenerate():
+    values = rand_fixed_sum(4, 6.0, 1.0, 2.0, nsets=200, rng=7)
+    # Different coordinates should not all be identical across draws.
+    assert values.std() > 0.05
+
+
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    frac=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_sum_and_bounds(n, frac, seed):
+    low, high = 1.0, 4.0
+    total = n * low + frac * n * (high - low)
+    values = rand_fixed_sum(n, total, low, high, nsets=1, rng=seed)[0]
+    assert values.sum() == pytest.approx(total, rel=1e-6)
+    assert (values >= low - 1e-6).all()
+    assert (values <= high + 1e-6).all()
+
+
+# --------------------------------------------------------------------------- #
+# utilizations_for_total
+# --------------------------------------------------------------------------- #
+def test_utilizations_sum_and_range():
+    utilizations = utilizations_for_total(9.0, 1.5, rng=3)
+    assert sum(utilizations) == pytest.approx(9.0)
+    assert all(1.0 - 1e-9 <= u <= 3.0 + 1e-9 for u in utilizations)
+    # n is driven by the average utilization.
+    assert len(utilizations) == 6
+
+
+def test_small_total_yields_single_task():
+    assert utilizations_for_total(0.8, 1.5, rng=0) == [0.8]
+
+
+def test_total_exactly_average():
+    utilizations = utilizations_for_total(1.5, 1.5, rng=0)
+    assert sum(utilizations) == pytest.approx(1.5)
+    assert len(utilizations) == 1
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(GenerationError):
+        utilizations_for_total(-1.0, 1.5)
+    with pytest.raises(GenerationError):
+        utilizations_for_total(5.0, 0.0)
+
+
+@given(
+    total=st.floats(min_value=0.5, max_value=40.0),
+    uavg=st.sampled_from([1.5, 2.0]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_utilizations_for_total(total, uavg, seed):
+    utilizations = utilizations_for_total(total, uavg, rng=seed)
+    assert sum(utilizations) == pytest.approx(total, rel=1e-6)
+    assert all(u <= 2 * uavg + 1e-9 for u in utilizations)
+    assert all(u > 0 for u in utilizations)

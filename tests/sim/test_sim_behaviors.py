@@ -1,0 +1,80 @@
+"""Tests for execution behaviours (repro.sim.behaviors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.dag import DAG
+from repro.model.resources import ResourceUsage
+from repro.model.task import DAGTask, Vertex
+from repro.sim.behaviors import (
+    BehaviorError,
+    Segment,
+    VertexBehavior,
+    behaviors_from_task,
+    validate_behaviors,
+)
+
+
+def make_task():
+    return DAGTask(
+        task_id=0,
+        vertices=[
+            Vertex(0, 4.0, requests={0: 2}),
+            Vertex(1, 3.0),
+        ],
+        dag=DAG(2, [(0, 1)]),
+        period=50.0,
+        resource_usages=[ResourceUsage(0, 2, 1.0)],
+    )
+
+
+def test_segment_validation_and_flags():
+    assert not Segment(1.0).is_critical
+    assert Segment(1.0, resource=3).is_critical
+    with pytest.raises(BehaviorError):
+        Segment(-1.0)
+
+
+def test_vertex_behavior_totals_and_counts():
+    behavior = VertexBehavior(0, [Segment(1.0), Segment(0.5, 2), Segment(0.5, 2)])
+    assert behavior.total_duration == pytest.approx(2.0)
+    assert behavior.request_counts() == {2: 2}
+
+
+def test_behaviors_from_task_match_wcets_and_requests():
+    task = make_task()
+    behaviors = behaviors_from_task(task)
+    for vertex in task.vertices:
+        behavior = behaviors[vertex.index]
+        assert behavior.total_duration == pytest.approx(vertex.wcet)
+        for rid, count in vertex.requests.items():
+            assert behavior.request_counts().get(rid, 0) == count
+    # Critical sections of vertex 0: two segments of length 1.
+    critical = [s for s in behaviors[0].segments if s.is_critical]
+    assert len(critical) == 2
+    assert all(s.duration == pytest.approx(1.0) for s in critical)
+
+
+def test_validate_behaviors_detects_mismatches():
+    task = make_task()
+    behaviors = behaviors_from_task(task)
+    # Wrong duration.
+    broken = dict(behaviors)
+    broken[1] = VertexBehavior(1, [Segment(1.0)])
+    with pytest.raises(BehaviorError):
+        validate_behaviors(task, broken)
+    # Missing request.
+    broken = dict(behaviors)
+    broken[0] = VertexBehavior(0, [Segment(4.0)])
+    with pytest.raises(BehaviorError):
+        validate_behaviors(task, broken)
+    # Missing vertex.
+    with pytest.raises(BehaviorError):
+        validate_behaviors(task, {0: behaviors[0]})
+
+
+def test_behaviors_for_generated_tasks(small_taskset):
+    for task in small_taskset:
+        behaviors = behaviors_from_task(task)
+        validate_behaviors(task, behaviors)
