@@ -13,11 +13,17 @@ from .paths import PathEnumerator, PathEnumerationResult, critical_path_only
 from .rta import ceil_div_jobs, least_fixed_point
 from .spin import SpinTest
 
-#: The protocols compared in the paper's evaluation (Sec. VII-B), in the
-#: order used by the tables.
 def default_protocols():
-    """Instantiate the protocol suite compared in the paper (Sec. VII-B)."""
-    return [DpcpPEpTest(), DpcpPEnTest(), SpinTest(), LppTest(), FedFpTest()]
+    """Instantiate the protocol suite compared in the paper (Sec. VII-B).
+
+    The suite (names, order, construction) is defined once, in
+    :data:`repro.campaign.planner.PROTOCOL_FACTORIES`; the import is
+    deferred because the campaign package builds on this one.
+    """
+    from ..campaign.executor import build_protocols
+    from ..campaign.planner import KNOWN_PROTOCOLS
+
+    return build_protocols(KNOWN_PROTOCOLS)
 
 
 __all__ = [

@@ -9,7 +9,12 @@ from .interference import (
     vertex_non_critical_wcet,
 )
 from .partition import WfdOutcome, partition_and_analyze, wfd_assign_resources
-from .protocol import DpcpPEnTest, DpcpPEpTest, DpcpPTest
+from .protocol import (
+    DEFAULT_MAX_PATH_SIGNATURES,
+    DpcpPEnTest,
+    DpcpPEpTest,
+    DpcpPTest,
+)
 from .wcrt import MODE_EN, MODE_EP, analyze_taskset, path_wcrt, task_wcrt_en, task_wcrt_ep
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "WfdOutcome",
     "partition_and_analyze",
     "wfd_assign_resources",
+    "DEFAULT_MAX_PATH_SIGNATURES",
     "DpcpPEnTest",
     "DpcpPEpTest",
     "DpcpPTest",

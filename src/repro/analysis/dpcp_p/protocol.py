@@ -7,9 +7,16 @@ from typing import Optional
 from ...model.platform import Platform
 from ...model.task import TaskSet
 from ..interfaces import SchedulabilityResult, SchedulabilityTest
-from ..paths import PathEnumerator
+from ..paths import DEFAULT_MAX_SIGNATURES, PathEnumerator
 from .partition import partition_and_analyze
 from .wcrt import MODE_EN, MODE_EP
+
+#: Default cap on enumerated path signatures before the EP analysis falls
+#: back to the EN bound (see DESIGN.md, "The EP path-signature cap").  The
+#: sweep config, campaign CLI, and protocol factories all default to this
+#: one constant — the enumerator's own default — so the serial API and the
+#: CLI cannot silently diverge.
+DEFAULT_MAX_PATH_SIGNATURES = DEFAULT_MAX_SIGNATURES
 
 
 class DpcpPTest(SchedulabilityTest):
@@ -26,7 +33,9 @@ class DpcpPTest(SchedulabilityTest):
         back to the EN bound for the remaining paths.
     """
 
-    def __init__(self, mode: str = MODE_EP, max_path_signatures: int = 4096) -> None:
+    def __init__(
+        self, mode: str = MODE_EP, max_path_signatures: int = DEFAULT_MAX_PATH_SIGNATURES
+    ) -> None:
         if mode not in (MODE_EP, MODE_EN):
             raise ValueError(f"unknown DPCP-p analysis mode {mode!r}")
         self.mode = mode
@@ -52,7 +61,7 @@ class DpcpPTest(SchedulabilityTest):
 class DpcpPEpTest(DpcpPTest):
     """DPCP-p with the path-enumeration (EP) analysis."""
 
-    def __init__(self, max_path_signatures: int = 4096) -> None:
+    def __init__(self, max_path_signatures: int = DEFAULT_MAX_PATH_SIGNATURES) -> None:
         super().__init__(mode=MODE_EP, max_path_signatures=max_path_signatures)
 
 

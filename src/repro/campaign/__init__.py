@@ -1,0 +1,53 @@
+"""Campaign-execution engine: parallel, resumable scenario-grid sweeps.
+
+The campaign subsystem decomposes an experiment campaign into independent
+``(scenario, utilization point)`` work units with deterministic per-unit
+seeds, executes them serially or across a process pool, and checkpoints
+every completed unit into an on-disk store so that interrupted campaigns
+resume where they left off.  See DESIGN.md ("Campaign engine") for the
+architecture and EXPERIMENTS.md for the command-line workflow.
+"""
+
+from .executor import (
+    UnitResult,
+    assemble_campaign,
+    assemble_sweep,
+    build_protocols,
+    execute_plan,
+    execute_unit,
+    execute_units,
+)
+from .planner import (
+    CampaignPlan,
+    WorkUnit,
+    campaign_manifest,
+    config_hash,
+    parse_filter,
+    plan_campaign,
+    plan_from_manifest,
+    plan_scenario_units,
+    select_scenarios,
+)
+from .store import CampaignStore, ConfigMismatchError, StoreError
+
+__all__ = [
+    "UnitResult",
+    "assemble_campaign",
+    "assemble_sweep",
+    "build_protocols",
+    "execute_plan",
+    "execute_unit",
+    "execute_units",
+    "CampaignPlan",
+    "WorkUnit",
+    "campaign_manifest",
+    "config_hash",
+    "parse_filter",
+    "plan_campaign",
+    "plan_from_manifest",
+    "plan_scenario_units",
+    "select_scenarios",
+    "CampaignStore",
+    "ConfigMismatchError",
+    "StoreError",
+]

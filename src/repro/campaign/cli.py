@@ -1,0 +1,398 @@
+"""Command-line interface of the campaign engine.
+
+::
+
+    python -m repro.campaign run    --store DIR [selection/config options]
+    python -m repro.campaign resume --store DIR [--workers N]
+    python -m repro.campaign status --store DIR
+    python -m repro.campaign export --store DIR [--out DIR]
+
+``run`` plans a campaign, writes the manifest, and executes it; re-running
+against an existing store with the same configuration simply resumes it,
+while a mismatched configuration is refused.  ``resume`` needs no
+configuration flags at all — everything is recovered from the manifest.
+See EXPERIMENTS.md for a walk-through.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.dpcp_p import DEFAULT_MAX_PATH_SIGNATURES
+from ..experiments.runner import SweepConfig
+from .executor import build_protocols, execute_plan
+from .planner import (
+    KNOWN_PROTOCOLS,
+    CampaignPlan,
+    campaign_manifest,
+    grid_scenarios,
+    plan_campaign,
+    plan_from_manifest,
+    select_scenarios,
+)
+from .store import CampaignStore, StoreError
+
+
+def _parse_vertices(text: str) -> Tuple[int, int]:
+    try:
+        low, high = (int(part) for part in text.split(",", 1))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected LO,HI (e.g. 10,100), got {text!r}"
+        )
+    if not 0 < low <= high:
+        raise argparse.ArgumentTypeError(f"invalid vertex range {text!r}")
+    return low, high
+
+
+def _parse_protocols(text: str) -> List[str]:
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    for name in names:
+        if name not in KNOWN_PROTOCOLS:
+            raise argparse.ArgumentTypeError(
+                f"unknown protocol {name!r}; known: {', '.join(KNOWN_PROTOCOLS)}"
+            )
+    if len(set(names)) != len(names):
+        raise argparse.ArgumentTypeError(f"duplicate protocol names in {text!r}")
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.campaign`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Parallel, resumable schedulability-experiment campaigns.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(sub):
+        sub.add_argument("--store", required=True, help="campaign store directory")
+
+    def add_execution(sub):
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes (1 = in-process execution)",
+        )
+        sub.add_argument(
+            "--chunk-size",
+            type=int,
+            default=None,
+            help="work units per dispatch to a worker (default: auto)",
+        )
+        sub.add_argument(
+            "--max-units",
+            type=int,
+            default=None,
+            help="stop after executing this many new units (smoke testing / "
+            "interrupt simulation)",
+        )
+        sub.add_argument(
+            "--quiet", action="store_true", help="suppress progress output"
+        )
+
+    run = commands.add_parser("run", help="plan and execute a campaign")
+    add_store(run)
+    run.add_argument(
+        "--grid",
+        choices=("full", "fig2"),
+        default="full",
+        help="scenario grid: the 216-scenario full grid or the four Fig. 2 "
+        "scenarios",
+    )
+    run.add_argument(
+        "--filter",
+        dest="filter_expression",
+        default=None,
+        metavar="EXPR",
+        help="scenario filter, e.g. 'm=16,pr=0.5' (keys: m, nr, U, pr, N, L)",
+    )
+    run.add_argument(
+        "--limit", type=int, default=None, help="keep only the first N scenarios"
+    )
+    defaults = SweepConfig()
+    run.add_argument(
+        "--samples",
+        type=int,
+        default=defaults.samples_per_point,
+        help="task sets per utilization point",
+    )
+    run.add_argument(
+        "--step",
+        type=float,
+        default=defaults.utilization_step_fraction,
+        help="utilization step as a fraction of the platform size",
+    )
+    run.add_argument(
+        "--seed", type=int, default=defaults.seed, help="campaign seed"
+    )
+    run.add_argument(
+        "--vertices",
+        type=_parse_vertices,
+        default=(10, 100),
+        metavar="LO,HI",
+        help="DAG vertex-count range (downscale for quick runs, see "
+        "EXPERIMENTS.md)",
+    )
+    run.add_argument(
+        "--protocols",
+        type=_parse_protocols,
+        default=list(KNOWN_PROTOCOLS),
+        metavar="A,B,...",
+        help=f"protocols to evaluate (default: {','.join(KNOWN_PROTOCOLS)})",
+    )
+    run.add_argument(
+        "--max-path-signatures",
+        type=int,
+        default=DEFAULT_MAX_PATH_SIGNATURES,
+        help="cap on enumerated path signatures for the EP analysis",
+    )
+    add_execution(run)
+
+    resume = commands.add_parser(
+        "resume", help="continue an interrupted campaign from its store"
+    )
+    add_store(resume)
+    add_execution(resume)
+
+    status = commands.add_parser("status", help="progress report of a store")
+    add_store(status)
+
+    export = commands.add_parser(
+        "export", help="render CSV series and tables from a store"
+    )
+    add_store(export)
+    export.add_argument(
+        "--out", default=None, help="output directory (default: <store>/export)"
+    )
+    export.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail instead of skipping scenarios with incomplete sweeps",
+    )
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Progress reporting
+# --------------------------------------------------------------------------- #
+class _ProgressPrinter:
+    """Single-line progress/ETA reporter writing to stderr."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.started = time.monotonic()
+        self.executed = 0
+        self.restored = 0
+
+    def __call__(self, done: int, total: int, result) -> None:
+        if result is None:
+            self.restored = done
+        else:
+            self.executed += 1
+        elapsed = time.monotonic() - self.started
+        remaining = total - done
+        if self.executed and remaining:
+            eta = f"{elapsed / self.executed * remaining:7.1f}s"
+        else:
+            eta = "      ?" if remaining else "   done"
+        percent = 100.0 * done / total if total else 100.0
+        label = result.unit_id if result is not None else "(restored from store)"
+        self.stream.write(
+            f"\r[{done}/{total}] {percent:5.1f}%  elapsed {elapsed:7.1f}s  "
+            f"eta {eta}  {label:<54.54s}"
+        )
+        self.stream.flush()
+
+    def finish(self) -> None:
+        self.stream.write("\n")
+        self.stream.flush()
+
+
+def _execute(
+    plan: CampaignPlan, store: CampaignStore, args: argparse.Namespace
+) -> int:
+    protocols = build_protocols(
+        plan.protocol_names, plan.config.max_path_signatures
+    )
+    printer = None if args.quiet else _ProgressPrinter()
+    try:
+        results = execute_plan(
+            plan,
+            protocols=protocols,
+            workers=args.workers,
+            store=store,
+            progress=printer,
+            chunk_size=args.chunk_size,
+            max_units=args.max_units,
+        )
+    finally:
+        if printer is not None:
+            printer.finish()
+    total = len(plan.units)
+    failures = sum(result.generation_failures for result in results)
+    print(
+        f"{len(results)}/{total} units complete "
+        f"({failures} failed task-set draws) in store {store.directory}"
+    )
+    if len(results) < total:
+        print("campaign incomplete — continue with: "
+              f"python -m repro.campaign resume --store {store.directory}")
+        return 3
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenarios = grid_scenarios(args.grid, num_vertices_range=args.vertices)
+    scenarios = select_scenarios(scenarios, args.filter_expression)
+    if args.limit is not None:
+        if args.limit < 1:
+            raise ValueError(f"--limit must be at least 1, got {args.limit}")
+        scenarios = scenarios[: args.limit]
+    if not scenarios:
+        print("no scenarios match the selection", file=sys.stderr)
+        return 2
+    config = SweepConfig(
+        samples_per_point=args.samples,
+        utilization_step_fraction=args.step,
+        max_path_signatures=args.max_path_signatures,
+        seed=args.seed,
+    )
+    plan = plan_campaign(scenarios, config, args.protocols)
+    store = CampaignStore(args.store)
+    manifest = campaign_manifest(plan)
+    resuming = store.exists()
+    store.initialize(manifest)
+    if resuming:
+        print(f"store {args.store} already holds this campaign — resuming")
+    print(
+        f"campaign: {len(scenarios)} scenarios, {len(plan.units)} work units, "
+        f"{len(plan.protocol_names)} protocols, workers={args.workers}"
+    )
+    return _execute(plan, store, args)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store)
+    manifest = store.read_manifest()
+    plan = plan_from_manifest(manifest)
+    pending = len(store.pending_ids(plan.unit_ids))
+    print(
+        f"resuming campaign in {args.store}: "
+        f"{len(plan.units) - pending}/{len(plan.units)} units already complete"
+    )
+    return _execute(plan, store, args)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store)
+    manifest = store.read_manifest()
+    plan = plan_from_manifest(manifest)
+    records = store.load_records()
+    done = sum(1 for unit_id in plan.unit_ids if unit_id in records)
+    total = len(plan.units)
+    failures = sum(record.get("generation_failures", 0) for record in records.values())
+    elapsed = sum(record.get("elapsed_seconds", 0.0) for record in records.values())
+    print(f"store:          {store.directory}")
+    print(f"config hash:    {manifest['config_hash'][:16]}…")
+    print(f"protocols:      {', '.join(manifest['protocols'])}")
+    print(f"scenarios:      {len(plan.scenarios)}")
+    print(f"units:          {done}/{total} complete "
+          f"({100.0 * done / total if total else 100.0:.1f}%)")
+    print(f"failed draws:   {failures}")
+    if done:
+        mean = elapsed / done
+        print(f"unit time:      {mean:.2f}s mean, {elapsed:.1f}s total compute")
+        if done < total:
+            print(f"serial ETA:     {mean * (total - done):.1f}s "
+                  f"({total - done} units left)")
+    incomplete = []
+    for scenario in plan.scenarios:
+        scenario_units = [
+            unit.unit_id
+            for unit in plan.units
+            if unit.scenario.scenario_id == scenario.scenario_id
+        ]
+        missing = sum(1 for unit_id in scenario_units if unit_id not in records)
+        if missing:
+            incomplete.append((scenario.scenario_id, missing, len(scenario_units)))
+    if incomplete:
+        print(f"incomplete scenarios ({len(incomplete)}):")
+        for scenario_id, missing, count in incomplete[:10]:
+            print(f"  {scenario_id}: {count - missing}/{count}")
+        if len(incomplete) > 10:
+            print(f"  … and {len(incomplete) - 10} more")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import os
+
+    from ..experiments.figures import load_sweep_results, write_series_csv
+    from ..experiments.runner import pairwise_statistics
+    from ..experiments.tables import (
+        render_dominance_table,
+        render_outperformance_table,
+    )
+
+    results = load_sweep_results(args.store, allow_partial=not args.strict)
+    if not results:
+        print("no completed scenario sweeps to export yet", file=sys.stderr)
+        return 2
+    out_dir = args.out or os.path.join(args.store, "export")
+    os.makedirs(out_dir, exist_ok=True)
+    for result in results:
+        path = os.path.join(out_dir, f"{result.scenario.scenario_id}.csv")
+        write_series_csv(result, path)
+    written = [f"{len(results)} series CSVs"]
+    if len(results[0].protocols) >= 2:
+        stats = pairwise_statistics(results)
+        tables_path = os.path.join(out_dir, "tables.txt")
+        with open(tables_path, "w") as handle:
+            handle.write(render_dominance_table(stats) + "\n\n")
+            handle.write(render_outperformance_table(stats) + "\n")
+        written.append("tables.txt")
+    skipped = None
+    manifest = CampaignStore(args.store).read_manifest()
+    if len(results) < len(manifest["scenarios"]):
+        skipped = len(manifest["scenarios"]) - len(results)
+    print(f"exported {' + '.join(written)} to {out_dir}")
+    if skipped:
+        print(f"skipped {skipped} incomplete scenario(s) — resume the campaign "
+              "to complete them")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "resume": _cmd_resume,
+        "status": _cmd_status,
+        "export": _cmd_export,
+    }
+    try:
+        return handlers[args.command](args)
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("\ninterrupted — completed units are checkpointed; continue with "
+              "'python -m repro.campaign resume'", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

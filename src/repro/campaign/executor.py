@@ -1,0 +1,331 @@
+"""Parallel executor: run work units in-process or across a process pool.
+
+Work units are independent by construction (each carries its own seed), so
+the executor is free to dispatch them in chunks to a
+:class:`concurrent.futures.ProcessPoolExecutor` and collect them in
+completion order; results are re-ordered to plan order before curves are
+assembled, and every unit of a chunk is checkpointed into the store the
+moment the chunk arrives (the auto chunk size is kept small so an
+interrupted run forfeits little finished-but-unreported compute).  With
+``workers <= 1`` the executor degrades gracefully
+to plain in-process execution (no pool, no pickling) — the code path used by
+:func:`repro.experiments.runner.run_sweep`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.dpcp_p import DEFAULT_MAX_PATH_SIGNATURES
+from ..analysis.interfaces import SchedulabilityTest
+from ..generation.randfixedsum import GenerationError
+from ..generation.taskset_gen import generate_taskset
+from ..model.platform import Platform
+from ..utils.rng import ensure_rng, spawn_rngs
+from .planner import PROTOCOL_FACTORIES, CampaignPlan, WorkUnit
+from .store import CampaignStore
+
+
+@dataclass
+class UnitResult:
+    """Outcome of one executed work unit."""
+
+    unit_id: str
+    scenario_id: str
+    point_index: int
+    utilization: float
+    accepted: Dict[str, int] = field(default_factory=dict)
+    evaluated: int = 0
+    generation_failures: int = 0
+    elapsed_seconds: float = 0.0
+
+    def to_record(self) -> dict:
+        """Serialise into a store record."""
+        return {
+            "unit_id": self.unit_id,
+            "scenario_id": self.scenario_id,
+            "point_index": self.point_index,
+            "utilization": self.utilization,
+            "accepted": dict(self.accepted),
+            "evaluated": self.evaluated,
+            "generation_failures": self.generation_failures,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "UnitResult":
+        """Rebuild a result from a store record."""
+        return cls(
+            unit_id=record["unit_id"],
+            scenario_id=record["scenario_id"],
+            point_index=int(record["point_index"]),
+            utilization=float(record["utilization"]),
+            accepted={k: int(v) for k, v in record["accepted"].items()},
+            evaluated=int(record["evaluated"]),
+            generation_failures=int(record.get("generation_failures", 0)),
+            elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+        )
+
+
+#: Callback invoked after every completed unit: ``(done, total, result)``.
+#: ``result`` is ``None`` for units restored from the store on resume.
+UnitProgress = Callable[[int, int, Optional[UnitResult]], None]
+
+
+def build_protocols(
+    names: Sequence[str], max_path_signatures: int = DEFAULT_MAX_PATH_SIGNATURES
+) -> List[SchedulabilityTest]:
+    """Instantiate schedulability tests from their report names.
+
+    The name → factory mapping is
+    :data:`repro.campaign.planner.PROTOCOL_FACTORIES` — the one place the
+    paper's protocol suite is defined.
+    """
+    tests: List[SchedulabilityTest] = []
+    for name in names:
+        if name not in PROTOCOL_FACTORIES:
+            raise ValueError(
+                f"unknown protocol {name!r}; known: "
+                f"{', '.join(PROTOCOL_FACTORIES)}"
+            )
+        tests.append(PROTOCOL_FACTORIES[name](max_path_signatures))
+    _require_unique_names(tests)
+    return tests
+
+
+def _require_unique_names(protocols: Sequence[SchedulabilityTest]) -> None:
+    """Duplicate protocol names would double-count into one ``accepted``
+    slot, persisting corrupted records — refuse them up front."""
+    names = [test.name for test in protocols]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ValueError(f"duplicate protocol name(s): {', '.join(sorted(duplicates))}")
+
+
+def execute_unit(
+    unit: WorkUnit, protocols: Sequence[SchedulabilityTest]
+) -> UnitResult:
+    """Execute one work unit: generate the samples and apply every protocol.
+
+    The sample streams are spawned from the unit's own seed, reproducing
+    exactly the generators the serial sweep would have used for this point.
+    """
+    started = time.perf_counter()
+    platform = Platform(unit.scenario.platform_size)
+    generation_config = unit.scenario.generation_config()
+    result = UnitResult(
+        unit_id=unit.unit_id,
+        scenario_id=unit.scenario.scenario_id,
+        point_index=unit.point_index,
+        utilization=unit.utilization,
+        accepted={test.name: 0 for test in protocols},
+    )
+    sample_rngs = spawn_rngs(ensure_rng(unit.seed), unit.samples_per_point)
+    for sample_rng in sample_rngs:
+        try:
+            taskset = generate_taskset(unit.utilization, generation_config, sample_rng)
+        except GenerationError:
+            result.generation_failures += 1
+            continue
+        result.evaluated += 1
+        for test in protocols:
+            if test.test(taskset, platform).schedulable:
+                result.accepted[test.name] += 1
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def _execute_chunk(
+    units: Sequence[WorkUnit], protocols: Sequence[SchedulabilityTest]
+) -> List[UnitResult]:
+    """Worker entry point: execute a chunk of units in one process call."""
+    return [execute_unit(unit, protocols) for unit in units]
+
+
+def _chunk(units: List[WorkUnit], size: int) -> List[List[WorkUnit]]:
+    return [units[i : i + size] for i in range(0, len(units), size)]
+
+
+def execute_units(
+    units: Sequence[WorkUnit],
+    protocols: Sequence[SchedulabilityTest],
+    *,
+    workers: int = 1,
+    store: Optional[CampaignStore] = None,
+    progress: Optional[UnitProgress] = None,
+    chunk_size: Optional[int] = None,
+    max_units: Optional[int] = None,
+) -> List[UnitResult]:
+    """Execute ``units``, returning their results in input order.
+
+    When a ``store`` is given, units that are already checkpointed are
+    restored instead of re-executed, and every newly completed unit is
+    appended to the store immediately (resume safety).  ``max_units`` caps
+    the number of *newly executed* units — useful for smoke tests and for
+    demonstrating interrupted runs.
+    """
+    _require_unique_names(protocols)
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+    if max_units is not None and max_units < 0:
+        raise ValueError(f"max_units must be non-negative, got {max_units}")
+    units = list(units)
+    total = len(units)
+    completed: Dict[str, UnitResult] = {}
+    if store is not None:
+        records = store.load_records()
+        for unit in units:
+            record = records.get(unit.unit_id)
+            if record is not None:
+                completed[unit.unit_id] = UnitResult.from_record(record)
+    done = len(completed)
+    if progress is not None and done:
+        progress(done, total, None)
+
+    pending = [unit for unit in units if unit.unit_id not in completed]
+    if max_units is not None:
+        pending = pending[:max_units]
+
+    def finish(result: UnitResult) -> None:
+        nonlocal done
+        if store is not None:
+            store.append(result.to_record())
+        completed[result.unit_id] = result
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    if workers <= 1 or len(pending) <= 1:
+        for unit in pending:
+            finish(execute_unit(unit, protocols))
+    else:
+        # A chunk is checkpointed only when it returns as a whole, so the
+        # auto size stays small: a killed run re-executes at most
+        # workers * size units of finished-but-unreported compute.
+        # Pass --chunk-size to trade that window for dispatch overhead.
+        size = chunk_size or max(1, min(4, math.ceil(len(pending) / (workers * 4))))
+        chunks = _chunk(pending, size)
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+        futures = set()
+        try:
+            futures = {pool.submit(_execute_chunk, chunk, protocols) for chunk in chunks}
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    for result in future.result():
+                        finish(result)
+        finally:
+            # Cancel by hand instead of shutdown(cancel_futures=True): the
+            # drain below needs the futures set either way.
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True)
+            # In-flight chunks cannot be cancelled and run to completion
+            # during the shutdown above — checkpoint what they produced
+            # (e.g. on KeyboardInterrupt) instead of discarding compute
+            # that resume would have to redo.  No progress callbacks here:
+            # this may run during exception unwind.
+            for future in futures:
+                if future.cancelled() or not future.done() or future.exception():
+                    continue
+                for result in future.result():
+                    if result.unit_id not in completed:
+                        if store is not None:
+                            store.append(result.to_record())
+                        completed[result.unit_id] = result
+
+    return [completed[unit.unit_id] for unit in units if unit.unit_id in completed]
+
+
+def execute_plan(
+    plan: CampaignPlan,
+    *,
+    protocols: Optional[Sequence[SchedulabilityTest]] = None,
+    workers: int = 1,
+    store: Optional[CampaignStore] = None,
+    progress: Optional[UnitProgress] = None,
+    chunk_size: Optional[int] = None,
+    max_units: Optional[int] = None,
+) -> List[UnitResult]:
+    """Execute every unit of a planned campaign (see :func:`execute_units`)."""
+    if protocols is None:
+        protocols = build_protocols(
+            plan.protocol_names, plan.config.max_path_signatures
+        )
+    return execute_units(
+        plan.units,
+        protocols,
+        workers=workers,
+        store=store,
+        progress=progress,
+        chunk_size=chunk_size,
+        max_units=max_units,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Curve assembly
+# --------------------------------------------------------------------------- #
+def assemble_sweep(scenario, protocol_names, results):
+    """Build a :class:`~repro.experiments.runner.SweepResult` from unit results.
+
+    ``results`` must cover a single scenario; points are ordered by their
+    index regardless of completion order.
+    """
+    from ..experiments.metrics import SweepCurve
+    from ..experiments.runner import SweepResult
+
+    sweep = SweepResult(scenario=scenario)
+    for name in protocol_names:
+        sweep.curves[name] = SweepCurve(protocol=name)
+    for result in sorted(results, key=lambda r: r.point_index):
+        for name in protocol_names:
+            sweep.curves[name].add_point(
+                result.utilization,
+                result.accepted[name],
+                result.evaluated,
+                generation_failures=result.generation_failures,
+            )
+    return sweep
+
+
+def assemble_campaign(
+    plan: CampaignPlan,
+    results: Sequence[UnitResult],
+    *,
+    allow_partial: bool = False,
+):
+    """Group unit results by scenario into one sweep result per scenario.
+
+    With ``allow_partial=False`` every planned unit must be present; with
+    ``allow_partial=True`` scenarios with missing points are skipped (the
+    curves of a partial scenario would silently cover fewer points, which is
+    worse than omitting it).
+    """
+    by_scenario: Dict[str, List[UnitResult]] = {}
+    for result in results:
+        by_scenario.setdefault(result.scenario_id, []).append(result)
+
+    expected: Dict[str, int] = {}
+    for unit in plan.units:
+        scenario_id = unit.scenario.scenario_id
+        expected[scenario_id] = expected.get(scenario_id, 0) + 1
+
+    sweeps = []
+    for scenario in plan.scenarios:
+        scenario_id = scenario.scenario_id
+        have = by_scenario.get(scenario_id, [])
+        if len(have) < expected.get(scenario_id, 0):
+            if allow_partial:
+                continue
+            raise ValueError(
+                f"scenario {scenario_id} is incomplete "
+                f"({len(have)}/{expected[scenario_id]} units); resume the "
+                "campaign or pass allow_partial=True"
+            )
+        sweeps.append(assemble_sweep(scenario, plan.protocol_names, have))
+    return sweeps

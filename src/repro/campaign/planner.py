@@ -1,0 +1,316 @@
+"""Work-unit planner: decompose a campaign into independent work units.
+
+A *work unit* is one ``(scenario, utilization point)`` pair together with the
+integer seed of its random stream.  Seeds are derived by child-stream
+spawning from the campaign seed exactly as the serial sweep in
+:mod:`repro.experiments.runner` derives its per-point generators, so
+executing the units in any order — or in parallel across processes — yields
+curves bit-identical to a serial :func:`~repro.experiments.runner.run_sweep`
+with the same seed.
+
+The planner also owns the *manifest*: a JSON-serialisable description of the
+campaign (scenarios, sweep configuration, protocol names) whose hash guards
+the on-disk store against mixing results from mismatched configurations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.dpcp_p import DpcpPEnTest, DpcpPEpTest
+from ..analysis.fedfp import FedFpTest
+from ..analysis.interfaces import SchedulabilityTest
+from ..analysis.lpp import LppTest
+from ..analysis.spin import SpinTest
+from ..experiments.runner import SweepConfig
+from ..experiments.scenarios import Scenario, figure2_scenarios, full_grid
+from ..utils.rng import ensure_rng, spawn_seeds
+
+#: Version of the store layout / manifest schema.  Bumped on incompatible
+#: changes so that old stores are rejected instead of silently misread.
+FORMAT_VERSION = 1
+
+#: The single registry of the paper's protocol suite (Sec. VII-B): report
+#: name → factory taking the EP path-signature cap.  Everything else —
+#: :data:`KNOWN_PROTOCOLS`, :func:`repro.campaign.executor.build_protocols`,
+#: :func:`repro.analysis.default_protocols` — derives from this mapping, so
+#: adding or re-tuning a protocol is a one-place edit.
+PROTOCOL_FACTORIES: Dict[str, Callable[[int], SchedulabilityTest]] = {
+    "DPCP-p-EP": lambda cap: DpcpPEpTest(max_path_signatures=cap),
+    "DPCP-p-EN": lambda cap: DpcpPEnTest(),
+    "SPIN": lambda cap: SpinTest(),
+    "LPP": lambda cap: LppTest(),
+    "FED-FP": lambda cap: FedFpTest(),
+}
+
+#: Protocol names the campaign CLI can instantiate (insertion order is the
+#: paper's table/figure order).
+KNOWN_PROTOCOLS = tuple(PROTOCOL_FACTORIES)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independently executable unit: a scenario at one utilization."""
+
+    scenario: Scenario
+    point_index: int
+    utilization: float
+    seed: int
+    samples_per_point: int
+
+    @property
+    def unit_id(self) -> str:
+        """Stable identifier used as the checkpoint key in the store."""
+        return f"{self.scenario.scenario_id}:p{self.point_index:02d}"
+
+
+@dataclass
+class CampaignPlan:
+    """A fully planned campaign: scenarios, config, and their work units."""
+
+    scenarios: List[Scenario]
+    config: SweepConfig
+    protocol_names: List[str]
+    units: List[WorkUnit] = field(default_factory=list)
+
+    @property
+    def unit_ids(self) -> List[str]:
+        """Identifiers of every planned unit (plan order)."""
+        return [unit.unit_id for unit in self.units]
+
+
+def plan_scenario_units(scenario: Scenario, config: SweepConfig) -> List[WorkUnit]:
+    """Decompose one scenario sweep into per-utilization-point work units.
+
+    Seed derivation mirrors the serial sweep: the campaign seed spawns one
+    child seed per utilization point, and each unit spawns its per-sample
+    streams from its own seed at execution time.
+    """
+    points = scenario.utilization_points(config.utilization_step_fraction)
+    if not points:
+        raise ValueError(
+            f"scenario {scenario.scenario_id} yields no utilization points "
+            f"at step fraction {config.utilization_step_fraction}"
+        )
+    seeds = spawn_seeds(ensure_rng(config.seed), len(points))
+    return [
+        WorkUnit(
+            scenario=scenario,
+            point_index=index,
+            utilization=utilization,
+            seed=seeds[index],
+            samples_per_point=config.samples_per_point,
+        )
+        for index, utilization in enumerate(points)
+    ]
+
+
+def plan_campaign(
+    scenarios: Sequence[Scenario],
+    config: Optional[SweepConfig] = None,
+    protocol_names: Optional[Sequence[str]] = None,
+) -> CampaignPlan:
+    """Plan a campaign over ``scenarios`` (units in scenario-major order)."""
+    config = config or SweepConfig()
+    names = list(protocol_names) if protocol_names is not None else list(KNOWN_PROTOCOLS)
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate protocol names in {names}")
+    scenarios = list(scenarios)
+    if not scenarios:
+        raise ValueError("campaign needs at least one scenario")
+    seen: Dict[str, Scenario] = {}
+    for scenario in scenarios:
+        if scenario.scenario_id in seen:
+            raise ValueError(f"duplicate scenario {scenario.scenario_id}")
+        seen[scenario.scenario_id] = scenario
+    units: List[WorkUnit] = []
+    for scenario in scenarios:
+        units.extend(plan_scenario_units(scenario, config))
+    return CampaignPlan(
+        scenarios=scenarios, config=config, protocol_names=names, units=units
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Manifest (de)serialisation and hashing
+# --------------------------------------------------------------------------- #
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """JSON-serialisable description of a scenario."""
+    return {
+        "platform_size": scenario.platform_size,
+        "resource_count_range": list(scenario.resource_count_range),
+        "average_utilization": scenario.average_utilization,
+        "access_probability": scenario.access_probability,
+        "request_count_range": list(scenario.request_count_range),
+        "cs_length_range": list(scenario.cs_length_range),
+        "num_vertices_range": list(scenario.num_vertices_range),
+        "edge_probability": scenario.edge_probability,
+    }
+
+
+def scenario_from_dict(data: dict) -> Scenario:
+    """Rebuild a :class:`Scenario` from :func:`scenario_to_dict` output."""
+    return Scenario(
+        platform_size=int(data["platform_size"]),
+        resource_count_range=tuple(data["resource_count_range"]),
+        average_utilization=float(data["average_utilization"]),
+        access_probability=float(data["access_probability"]),
+        request_count_range=tuple(data["request_count_range"]),
+        cs_length_range=tuple(data["cs_length_range"]),
+        num_vertices_range=tuple(data["num_vertices_range"]),
+        edge_probability=float(data["edge_probability"]),
+    )
+
+
+def config_to_dict(config: SweepConfig) -> dict:
+    """JSON-serialisable description of a sweep configuration."""
+    return {
+        "samples_per_point": config.samples_per_point,
+        "utilization_step_fraction": config.utilization_step_fraction,
+        "max_path_signatures": config.max_path_signatures,
+        "seed": config.seed,
+    }
+
+
+def config_from_dict(data: dict) -> SweepConfig:
+    """Rebuild a :class:`SweepConfig` from :func:`config_to_dict` output."""
+    return SweepConfig(
+        samples_per_point=int(data["samples_per_point"]),
+        utilization_step_fraction=float(data["utilization_step_fraction"]),
+        max_path_signatures=int(data["max_path_signatures"]),
+        seed=None if data["seed"] is None else int(data["seed"]),
+    )
+
+
+def config_hash(manifest: dict) -> str:
+    """Hash of the configuration part of a manifest.
+
+    Only the fields that determine the results enter the hash, so cosmetic
+    manifest additions (timestamps, notes) never invalidate a store.
+    """
+    payload = {
+        "format_version": manifest["format_version"],
+        "scenarios": manifest["scenarios"],
+        "sweep_config": manifest["sweep_config"],
+        "protocols": manifest["protocols"],
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def campaign_manifest(plan: CampaignPlan) -> dict:
+    """Build the manifest persisted alongside a campaign's results."""
+    if plan.config.seed is None:
+        raise ValueError(
+            "a persisted campaign requires a concrete seed (SweepConfig.seed "
+            "is None); otherwise resumed runs could not reproduce the streams"
+        )
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "scenarios": [scenario_to_dict(s) for s in plan.scenarios],
+        "sweep_config": config_to_dict(plan.config),
+        "protocols": list(plan.protocol_names),
+        "total_units": len(plan.units),
+    }
+    manifest["config_hash"] = config_hash(manifest)
+    return manifest
+
+
+def plan_from_manifest(manifest: dict) -> CampaignPlan:
+    """Rebuild the full campaign plan (including unit seeds) from a manifest."""
+    scenarios = [scenario_from_dict(d) for d in manifest["scenarios"]]
+    config = config_from_dict(manifest["sweep_config"])
+    return plan_campaign(scenarios, config, manifest["protocols"])
+
+
+# --------------------------------------------------------------------------- #
+# Scenario selection (grids and filter expressions)
+# --------------------------------------------------------------------------- #
+#: Filter keys understood by :func:`parse_filter` → scenario attribute.
+FILTER_KEYS = {
+    "m": "platform_size",
+    "nr": "resource_count_range",
+    "U": "average_utilization",
+    "pr": "access_probability",
+    "N": "request_count_range",
+    "L": "cs_length_range",
+}
+
+
+def _parse_range(text: str) -> Tuple[float, float]:
+    for separator in ("-", "_", ":"):
+        if separator in text:
+            low, high = text.split(separator, 1)
+            return float(low), float(high)
+    raise ValueError(f"expected a range like '4-8', got {text!r}")
+
+
+def parse_filter(expression: str) -> dict:
+    """Parse a filter expression like ``m=16,pr=0.5,nr=4-8``.
+
+    Supported keys: ``m`` (platform size), ``nr`` (resource-count range),
+    ``U`` (average utilization), ``pr`` (access probability), ``N``
+    (request-count range, either the upper bound or ``lo-hi``), ``L``
+    (critical-section length range ``lo-hi``).  Terms combine with AND.
+    """
+    criteria: dict = {}
+    for term in expression.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        if "=" not in term:
+            raise ValueError(f"filter term {term!r} is not of the form key=value")
+        key, value = (part.strip() for part in term.split("=", 1))
+        if key not in FILTER_KEYS:
+            raise ValueError(
+                f"unknown filter key {key!r}; valid keys: {', '.join(FILTER_KEYS)}"
+            )
+        if key == "m":
+            criteria[key] = int(value)
+        elif key in ("U", "pr"):
+            criteria[key] = float(value)
+        elif key == "N" and "-" not in value and "_" not in value and ":" not in value:
+            # Bare upper bound: N=50 matches any request range ending at 50.
+            criteria[key] = int(value)
+        else:
+            criteria[key] = _parse_range(value)
+    return criteria
+
+
+def _matches(scenario: Scenario, criteria: dict) -> bool:
+    for key, expected in criteria.items():
+        actual = getattr(scenario, FILTER_KEYS[key])
+        if key == "N" and isinstance(expected, int):
+            if scenario.request_count_range[1] != expected:
+                return False
+        elif isinstance(expected, tuple):
+            if tuple(float(v) for v in actual) != tuple(float(v) for v in expected):
+                return False
+        elif actual != expected:
+            return False
+    return True
+
+
+def select_scenarios(
+    scenarios: Sequence[Scenario], expression: Optional[str] = None
+) -> List[Scenario]:
+    """Scenarios matching a filter expression (all of them when ``None``)."""
+    if not expression:
+        return list(scenarios)
+    criteria = parse_filter(expression)
+    return [s for s in scenarios if _matches(s, criteria)]
+
+
+def grid_scenarios(
+    grid: str, num_vertices_range: Tuple[int, int] = (10, 100)
+) -> List[Scenario]:
+    """Named scenario grids exposed by the CLI (``full`` or ``fig2``)."""
+    if grid == "full":
+        return full_grid(num_vertices_range=num_vertices_range)
+    if grid == "fig2":
+        figures = figure2_scenarios(num_vertices_range=num_vertices_range)
+        return [figures[key] for key in sorted(figures)]
+    raise ValueError(f"unknown grid {grid!r}; expected 'full' or 'fig2'")

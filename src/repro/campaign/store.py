@@ -1,0 +1,178 @@
+"""On-disk result store: JSONL checkpoints plus a campaign manifest.
+
+Layout of a store directory::
+
+    <store>/
+        manifest.json   # campaign description + config hash
+        results.jsonl   # one JSON record per completed work unit (append-only)
+
+The store is append-only and crash-tolerant: every completed unit is written
+and flushed as one line, and a trailing partial line (from a killed process)
+is ignored on load.  Re-opening a store with a different configuration hash
+raises :class:`ConfigMismatchError` so results from mismatched campaigns are
+never mixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from typing import Dict, Iterable, Optional, Set
+
+from .planner import FORMAT_VERSION, config_hash
+
+
+class StoreError(RuntimeError):
+    """Base error for campaign-store problems."""
+
+
+class ConfigMismatchError(StoreError):
+    """The store on disk was produced by a different campaign configuration."""
+
+
+class CampaignStore:
+    """Append-only result store for one campaign directory."""
+
+    MANIFEST_NAME = "manifest.json"
+    RESULTS_NAME = "results.jsonl"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+
+    @property
+    def manifest_path(self) -> str:
+        """Path of the manifest file."""
+        return os.path.join(self.directory, self.MANIFEST_NAME)
+
+    @property
+    def results_path(self) -> str:
+        """Path of the JSONL results file."""
+        return os.path.join(self.directory, self.RESULTS_NAME)
+
+    def exists(self) -> bool:
+        """Whether the directory already holds a campaign manifest."""
+        return os.path.isfile(self.manifest_path)
+
+    # ------------------------------------------------------------------ #
+    # Manifest
+    # ------------------------------------------------------------------ #
+    def initialize(self, manifest: dict) -> dict:
+        """Create the store for ``manifest`` or re-open a matching one.
+
+        Returns the manifest that is now on disk.  Raises
+        :class:`ConfigMismatchError` when the directory already holds a
+        campaign with a different configuration hash.
+        """
+        if self.exists():
+            existing = self.read_manifest()
+            self._check_hash(existing, manifest["config_hash"])
+            return existing
+        os.makedirs(self.directory, exist_ok=True)
+        temporary = self.manifest_path + ".tmp"
+        with open(temporary, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temporary, self.manifest_path)
+        return manifest
+
+    def read_manifest(self) -> dict:
+        """Load and validate the manifest from disk."""
+        if not self.exists():
+            raise StoreError(
+                f"{self.directory!r} holds no campaign (missing "
+                f"{self.MANIFEST_NAME}); run 'campaign run' first"
+            )
+        with open(self.manifest_path) as handle:
+            manifest = json.load(handle)
+        if not isinstance(manifest, dict):
+            raise StoreError(
+                f"{self.manifest_path!r} is not a campaign manifest"
+            )
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise StoreError(
+                f"store {self.directory!r} uses manifest format {version!r}, "
+                f"but this version of the code reads format {FORMAT_VERSION}; "
+                "re-run the campaign into a fresh --store directory"
+            )
+        try:
+            recomputed = config_hash(manifest)
+        except (KeyError, TypeError) as error:
+            raise StoreError(
+                f"{self.manifest_path!r} is not a campaign manifest "
+                f"(missing or malformed field: {error})"
+            ) from error
+        if manifest.get("config_hash") != recomputed:
+            raise ConfigMismatchError(
+                f"manifest in {self.directory!r} is corrupt: stored config "
+                f"hash {manifest.get('config_hash')!r} does not match its "
+                f"own contents ({recomputed!r})"
+            )
+        return manifest
+
+    def _check_hash(self, manifest: dict, expected_hash: str) -> None:
+        if manifest["config_hash"] != expected_hash:
+            raise ConfigMismatchError(
+                f"store {self.directory!r} was produced by a different "
+                f"campaign configuration (stored hash "
+                f"{manifest['config_hash'][:12]}…, requested "
+                f"{expected_hash[:12]}…); use a fresh --store directory or "
+                "rerun with the original configuration"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def append(self, record: dict) -> None:
+        """Append one completed-unit record (flushed immediately)."""
+        if "unit_id" not in record:
+            raise StoreError("result record lacks a unit_id")
+        record = dict(record)
+        record.setdefault("completed_at", _utcnow_iso())
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.results_path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load_records(self) -> Dict[str, dict]:
+        """All completed-unit records, keyed by ``unit_id``.
+
+        A trailing partial line (killed writer) is ignored; for duplicate
+        unit ids the first record wins, so resumed runs never overwrite
+        earlier checkpoints.
+        """
+        records: Dict[str, dict] = {}
+        if not os.path.isfile(self.results_path):
+            return records
+        with open(self.results_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn final write of an interrupted run: the unit will
+                    # simply be re-executed on resume.
+                    continue
+                unit_id = record.get("unit_id")
+                if unit_id and unit_id not in records:
+                    records[unit_id] = record
+        return records
+
+    def completed_ids(self) -> Set[str]:
+        """Identifiers of the units already checkpointed in this store."""
+        return set(self.load_records())
+
+    def pending_ids(self, unit_ids: Iterable[str]) -> Set[str]:
+        """Subset of ``unit_ids`` that has no checkpoint yet."""
+        return set(unit_ids) - self.completed_ids()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CampaignStore({self.directory!r})"
+
+
+def _utcnow_iso() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")

@@ -3,6 +3,7 @@
 from .figures import (
     FIGURE_PROTOCOLS,
     acceptance_series,
+    load_sweep_results,
     render_ascii_plot,
     render_series_table,
     series_to_csv,
@@ -35,6 +36,7 @@ from .scenarios import (
 )
 from .tables import (
     TABLE_PROTOCOLS,
+    load_pairwise_statistics,
     render_dominance_table,
     render_outperformance_table,
     table_rows,
@@ -43,6 +45,8 @@ from .tables import (
 __all__ = [
     "FIGURE_PROTOCOLS",
     "acceptance_series",
+    "load_sweep_results",
+    "load_pairwise_statistics",
     "render_ascii_plot",
     "render_series_table",
     "series_to_csv",

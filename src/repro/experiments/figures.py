@@ -4,12 +4,21 @@ The figure builders turn sweep results into (i) plain-text tables of the
 acceptance-ratio series (one column per protocol), (ii) a simple ASCII plot
 for terminal inspection, and (iii) CSV files for external plotting — the
 repository deliberately has no plotting dependency.
+
+Sweep results can come straight from :func:`~repro.experiments.runner.run_sweep`
+or be loaded from an on-disk campaign store (:func:`load_sweep_results`), so
+figure regeneration never requires re-running the experiments.
+
+Utilization points where every task-set draw failed carry a NaN acceptance
+ratio; the renderers show them as ``n/a`` (table), a gap (ASCII plot), or an
+empty cell (CSV), and every row reports its ``generation_failures`` count.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import math
 from typing import List, Optional, Sequence
 
 from .metrics import SweepCurve
@@ -20,34 +29,55 @@ FIGURE_PROTOCOLS = ("DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP", "FED-FP")
 
 
 def acceptance_series(result: SweepResult, protocols: Optional[Sequence[str]] = None) -> List[dict]:
-    """Per-utilization-point acceptance ratios (one dict per point)."""
+    """Per-utilization-point acceptance ratios (one dict per point).
+
+    All curves of a sweep are built from the same task-set draws (the
+    runner/campaign assembler guarantees it), so the shared
+    ``generation_failures`` column is read from the first protocol's curve.
+    """
     protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
     rows: List[dict] = []
     reference = result.curves[protocols[0]]
+    failures = reference.generation_failures
+    ratios = {p: result.curves[p].acceptance_ratios for p in protocols}
     m = result.scenario.platform_size
     for index, utilization in enumerate(reference.utilizations):
         row = {
             "utilization": utilization,
             "normalized_utilization": utilization / m,
+            "generation_failures": failures[index] if index < len(failures) else 0,
         }
         for protocol in protocols:
-            row[protocol] = result.curves[protocol].acceptance_ratios[index]
+            row[protocol] = ratios[protocol][index]
         rows.append(row)
     return rows
+
+
+def _format_ratio(ratio: float, width: int = 10) -> str:
+    if math.isnan(ratio):
+        return f"{'n/a':>{width}s}"
+    return f"{ratio:>{width}.2f}"
 
 
 def render_series_table(
     result: SweepResult, protocols: Optional[Sequence[str]] = None, title: str = ""
 ) -> str:
-    """Plain-text table of the acceptance-ratio series of one sweep."""
+    """Plain-text table of the acceptance-ratio series of one sweep.
+
+    A trailing ``fails`` column appears when any point lost task-set draws to
+    generation failures.
+    """
     protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
     rows = acceptance_series(result, protocols)
-    header = ["U/m"] + list(protocols)
+    show_failures = any(row["generation_failures"] for row in rows)
+    header = ["U/m"] + list(protocols) + (["fails"] if show_failures else [])
     lines = [title or f"Scenario {result.scenario.scenario_id}"]
     lines.append("  ".join(f"{h:>10s}" for h in header))
     for row in rows:
         cells = [f"{row['normalized_utilization']:>10.2f}"]
-        cells += [f"{row[p]:>10.2f}" for p in protocols]
+        cells += [_format_ratio(row[p]) for p in protocols]
+        if show_failures:
+            cells.append(f"{row['generation_failures']:>10d}")
         lines.append("  ".join(cells))
     return "\n".join(lines)
 
@@ -61,7 +91,7 @@ def render_ascii_plot(
 
     Each protocol is drawn with its own marker; points round to the nearest
     character cell, which is plenty to eyeball the crossovers reported in the
-    paper.
+    paper.  Points with no realised task sets are left blank.
     """
     protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
     markers = "ox+*#@%&"
@@ -70,6 +100,8 @@ def render_ascii_plot(
     grid = [[" "] * width for _ in range(height + 1)]
     for column, row in enumerate(rows):
         for index, protocol in enumerate(protocols):
+            if math.isnan(row[protocol]):
+                continue
             level = int(round(row[protocol] * height))
             grid[height - level][column] = markers[index % len(markers)]
     lines = [f"acceptance ratio vs normalized utilization — {result.scenario.scenario_id}"]
@@ -93,11 +125,20 @@ def series_to_csv(
     buffer = io.StringIO()
     writer = csv.DictWriter(
         buffer,
-        fieldnames=["utilization", "normalized_utilization", *protocols],
+        fieldnames=[
+            "utilization",
+            "normalized_utilization",
+            *protocols,
+            "generation_failures",
+        ],
         lineterminator="\n",
     )
     writer.writeheader()
     for row in rows:
+        row = dict(row)
+        for protocol in protocols:
+            if math.isnan(row[protocol]):
+                row[protocol] = ""
         writer.writerow(row)
     return buffer.getvalue()
 
@@ -106,3 +147,27 @@ def write_series_csv(result: SweepResult, path: str) -> None:
     """Write the acceptance-ratio series of one sweep to ``path``."""
     with open(path, "w", newline="") as handle:
         handle.write(series_to_csv(result))
+
+
+def load_sweep_results(
+    store_directory: str, allow_partial: bool = True
+) -> List[SweepResult]:
+    """Load sweep results from an on-disk campaign store.
+
+    Decouples figure/table regeneration from campaign execution: a store
+    produced by ``python -m repro.campaign run`` can be re-rendered at any
+    time.  Scenarios whose sweep is incomplete are skipped when
+    ``allow_partial`` is true, otherwise a ``ValueError`` is raised.
+    """
+    # Deferred import, NOT hoistable: repro.campaign imports this package at
+    # module level (see DESIGN.md, "Layering").
+    from ..campaign.executor import UnitResult, assemble_campaign
+    from ..campaign.planner import plan_from_manifest
+    from ..campaign.store import CampaignStore
+
+    store = CampaignStore(store_directory)
+    plan = plan_from_manifest(store.read_manifest())
+    results = [
+        UnitResult.from_record(record) for record in store.load_records().values()
+    ]
+    return assemble_campaign(plan, results, allow_partial=allow_partial)

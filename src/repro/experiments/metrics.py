@@ -15,6 +15,7 @@ two algorithms A and B as follows (footnote 1):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence
 
@@ -27,21 +28,43 @@ class SweepCurve:
     utilizations: List[float] = field(default_factory=list)
     accepted: List[int] = field(default_factory=list)
     sampled: List[int] = field(default_factory=list)
+    #: Per-point count of task-set draws the generator failed to realise.
+    #: A point where *every* draw failed has ``sampled == 0`` and an
+    #: acceptance ratio of NaN — surfaced as such in tables and figures
+    #: instead of fabricating a 0-out-of-1 ratio.
+    generation_failures: List[int] = field(default_factory=list)
 
-    def add_point(self, utilization: float, accepted: int, sampled: int) -> None:
+    def add_point(
+        self,
+        utilization: float,
+        accepted: int,
+        sampled: int,
+        generation_failures: int = 0,
+    ) -> None:
         """Record the outcome of one utilization point."""
-        if sampled <= 0:
-            raise ValueError("sampled must be positive")
+        if sampled < 0:
+            raise ValueError("sampled must be non-negative")
+        if generation_failures < 0:
+            raise ValueError("generation_failures must be non-negative")
         if not 0 <= accepted <= sampled:
             raise ValueError("accepted must lie in [0, sampled]")
         self.utilizations.append(float(utilization))
         self.accepted.append(int(accepted))
         self.sampled.append(int(sampled))
+        self.generation_failures.append(int(generation_failures))
 
     @property
     def acceptance_ratios(self) -> List[float]:
-        """Per-point acceptance ratios."""
-        return [a / s for a, s in zip(self.accepted, self.sampled)]
+        """Per-point acceptance ratios (NaN where no task set was realised)."""
+        return [
+            a / s if s else float("nan")
+            for a, s in zip(self.accepted, self.sampled)
+        ]
+
+    @property
+    def total_generation_failures(self) -> int:
+        """Total failed task-set draws over the sweep."""
+        return sum(self.generation_failures)
 
     @property
     def total_accepted(self) -> int:
@@ -64,13 +87,27 @@ def outperforms(a: SweepCurve, b: SweepCurve) -> bool:
 
 
 def dominates(a: SweepCurve, b: SweepCurve, tolerance: float = 1e-12) -> bool:
-    """Whether ``a``'s curve is never below and somewhere above ``b``'s curve."""
+    """Whether ``a``'s curve is never below and somewhere above ``b``'s curve.
+
+    The comparison is defined over the points where both curves realised at
+    least one task set; a point with a NaN ratio on either side (see
+    :attr:`SweepCurve.generation_failures`) is excluded.  Curves produced by
+    one sweep share their task-set draws, so there a NaN is always mutual
+    and carries no information about either protocol; when comparing curves
+    from unrelated runs, one-sided NaN points are likewise skipped rather
+    than counted for or against anyone.
+    """
     ratios_a = a.acceptance_ratios
     ratios_b = b.acceptance_ratios
     if len(ratios_a) != len(ratios_b):
         raise ValueError("curves must cover the same utilization points")
-    never_below = all(ra >= rb - tolerance for ra, rb in zip(ratios_a, ratios_b))
-    somewhere_above = any(ra > rb + tolerance for ra, rb in zip(ratios_a, ratios_b))
+    pairs = [
+        (ra, rb)
+        for ra, rb in zip(ratios_a, ratios_b)
+        if not (math.isnan(ra) or math.isnan(rb))
+    ]
+    never_below = all(ra >= rb - tolerance for ra, rb in pairs)
+    somewhere_above = any(ra > rb + tolerance for ra, rb in pairs)
     return never_below and somewhere_above
 
 
@@ -122,7 +159,12 @@ class PairwiseStatistics:
 
 
 def weighted_acceptance(curves: Sequence[SweepCurve]) -> Dict[str, float]:
-    """Overall acceptance ratio per protocol, aggregated over several sweeps."""
+    """Overall acceptance ratio per protocol, aggregated over several sweeps.
+
+    A protocol whose every task-set draw failed has no realised samples and
+    maps to NaN — the same convention as
+    :attr:`SweepCurve.acceptance_ratios` — never a fabricated 0.0.
+    """
     totals: Dict[str, List[int]] = {}
     for curve in curves:
         accepted, sampled = totals.setdefault(curve.protocol, [0, 0])
@@ -131,6 +173,6 @@ def weighted_acceptance(curves: Sequence[SweepCurve]) -> Dict[str, float]:
             sampled + curve.total_sampled,
         ]
     return {
-        protocol: (accepted / sampled if sampled else 0.0)
+        protocol: (accepted / sampled if sampled else float("nan"))
         for protocol, (accepted, sampled) in totals.items()
     }

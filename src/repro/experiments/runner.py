@@ -3,20 +3,22 @@
 The runner generates task sets, applies every schedulability test, and
 collects :class:`~repro.experiments.metrics.SweepCurve` objects that the
 figure and table builders consume.
+
+Since the campaign engine landed, the runner is a thin façade over
+:mod:`repro.campaign`: sweeps are decomposed into per-utilization-point work
+units by the planner and executed by the executor, so the serial convenience
+API and the parallel/resumable campaign CLI share one code path (and one
+seed-derivation scheme — results are bit-identical either way).
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..analysis import default_protocols
+from ..analysis.dpcp_p import DEFAULT_MAX_PATH_SIGNATURES
 from ..analysis.interfaces import SchedulabilityTest
-from ..generation.randfixedsum import GenerationError
-from ..generation.taskset_gen import generate_taskset
-from ..model.platform import Platform
-from ..model.task import TaskSet
-from ..utils.rng import RngLike, ensure_rng, spawn_rngs
 from .metrics import PairwiseStatistics, SweepCurve
 from .scenarios import Scenario
 
@@ -44,8 +46,20 @@ class SweepConfig:
 
     samples_per_point: int = 20
     utilization_step_fraction: float = 0.05
-    max_path_signatures: int = 2048
+    max_path_signatures: int = DEFAULT_MAX_PATH_SIGNATURES
     seed: Optional[int] = 20200706
+
+    def __post_init__(self) -> None:
+        if self.samples_per_point < 1:
+            raise ValueError("samples_per_point must be at least 1")
+        if not 0 < self.utilization_step_fraction <= 1:
+            raise ValueError(
+                "utilization_step_fraction must be in (0, 1] — it is a "
+                "fraction of the platform size, and a value above 1 would "
+                "yield an empty sweep"
+            )
+        if self.max_path_signatures < 1:
+            raise ValueError("max_path_signatures must be at least 1")
 
 
 @dataclass
@@ -65,6 +79,35 @@ class SweepResult:
         return list(self.curves)
 
 
+def _resolve_protocols(
+    protocols: Optional[Sequence[SchedulabilityTest]], config: "SweepConfig"
+) -> List[SchedulabilityTest]:
+    """Explicit protocol list, or the paper's suite honouring the EP cap."""
+    if protocols is not None:
+        return list(protocols)
+    from ..campaign.executor import build_protocols
+    from ..campaign.planner import KNOWN_PROTOCOLS
+
+    return build_protocols(KNOWN_PROTOCOLS, config.max_path_signatures)
+
+
+def _adapt_progress(progress: Optional[ProgressCallback], resolve_scenario):
+    """Wrap a per-point :data:`ProgressCallback` as the executor's per-unit
+    callback (``None`` passes through)."""
+    if progress is None:
+        return None
+
+    def unit_progress(done, total, result):
+        if result is not None:
+            progress(
+                resolve_scenario(result.scenario_id),
+                result.utilization,
+                dict(result.accepted),
+            )
+
+    return unit_progress
+
+
 def run_sweep(
     scenario: Scenario,
     protocols: Optional[Sequence[SchedulabilityTest]] = None,
@@ -75,48 +118,21 @@ def run_sweep(
 
     For every utilization point, ``config.samples_per_point`` task sets are
     generated and every protocol is applied to every task set; the acceptance
-    counts form one :class:`SweepCurve` per protocol.
+    counts form one :class:`SweepCurve` per protocol.  Points where every
+    task-set draw failed are recorded with ``sampled == 0`` and their failure
+    count (see :attr:`SweepCurve.generation_failures`).
     """
+    # Deferred import: the campaign subsystem builds on the types above.
+    from ..campaign.executor import assemble_sweep, execute_units
+    from ..campaign.planner import plan_scenario_units
+
     config = config or SweepConfig()
-    protocols = list(protocols) if protocols is not None else default_protocols()
-    platform = Platform(scenario.platform_size)
-    generation_config = scenario.generation_config()
-    points = scenario.utilization_points(config.utilization_step_fraction)
+    tests = _resolve_protocols(protocols, config)
+    units = plan_scenario_units(scenario, config)
 
-    result = SweepResult(scenario=scenario)
-    for test in protocols:
-        result.curves[test.name] = SweepCurve(protocol=test.name)
-
-    base_rng = ensure_rng(config.seed)
-    point_rngs = spawn_rngs(base_rng, len(points))
-    for point_index, utilization in enumerate(points):
-        sample_rngs = spawn_rngs(point_rngs[point_index], config.samples_per_point)
-        accepted: Dict[str, int] = {test.name: 0 for test in protocols}
-        evaluated = 0
-        for sample_rng in sample_rngs:
-            taskset = _generate(utilization, generation_config, sample_rng)
-            if taskset is None:
-                continue
-            evaluated += 1
-            for test in protocols:
-                if test.test(taskset, platform).schedulable:
-                    accepted[test.name] += 1
-        evaluated = max(evaluated, 1)
-        for test in protocols:
-            result.curves[test.name].add_point(
-                utilization, accepted[test.name], evaluated
-            )
-        if progress is not None:
-            progress(scenario, utilization, accepted)
-    return result
-
-
-def _generate(utilization, generation_config, rng) -> Optional[TaskSet]:
-    """Generate one task set, tolerating (rare) infeasible draws."""
-    try:
-        return generate_taskset(utilization, generation_config, rng)
-    except GenerationError:
-        return None
+    unit_progress = _adapt_progress(progress, lambda scenario_id: scenario)
+    results = execute_units(units, tests, workers=1, progress=unit_progress)
+    return assemble_sweep(scenario, [t.name for t in tests], results)
 
 
 def run_campaign(
@@ -124,12 +140,63 @@ def run_campaign(
     protocols: Optional[Sequence[SchedulabilityTest]] = None,
     config: Optional[SweepConfig] = None,
     progress: Optional[ProgressCallback] = None,
+    workers: int = 1,
 ) -> List[SweepResult]:
-    """Run a sweep for every scenario of a grid."""
-    return [
-        run_sweep(scenario, protocols=protocols, config=config, progress=progress)
-        for scenario in scenarios
-    ]
+    """Run a sweep for every scenario of a grid.
+
+    With ``workers > 1`` the campaign's work units are fanned out across a
+    process pool (requires a non-``None`` seed for reproducibility); results
+    are identical to the serial run either way.  For checkpointing/resume use
+    the campaign engine directly (``python -m repro.campaign``).
+    """
+    config = config or SweepConfig()
+    scenarios = list(scenarios)
+    if not scenarios:
+        return []
+    if workers <= 1:
+        return [
+            run_sweep(scenario, protocols=protocols, config=config, progress=progress)
+            for scenario in scenarios
+        ]
+    if config.seed is None:
+        raise ValueError(
+            "run_campaign with workers > 1 requires a concrete SweepConfig.seed; "
+            "with seed=None every unit would draw fresh OS entropy and the "
+            "results could never be reproduced"
+        )
+
+    from ..campaign.executor import assemble_campaign, execute_units
+    from ..campaign.planner import plan_campaign
+
+    tests = _resolve_protocols(protocols, config)
+    # Duplicate scenarios are legal (and produce identical results) on the
+    # serial path; plan each distinct scenario once and fan the assembled
+    # sweeps back out so the workers knob never changes the outcome.
+    unique: List[Scenario] = []
+    seen = set()
+    for scenario in scenarios:
+        if scenario.scenario_id not in seen:
+            seen.add(scenario.scenario_id)
+            unique.append(scenario)
+    plan = plan_campaign(unique, config, [t.name for t in tests])
+    scenario_by_id = {s.scenario_id: s for s in plan.scenarios}
+    unit_progress = _adapt_progress(progress, scenario_by_id.__getitem__)
+    results = execute_units(plan.units, tests, workers=workers, progress=unit_progress)
+    sweep_by_id = {
+        sweep.scenario.scenario_id: sweep
+        for sweep in assemble_campaign(plan, results)
+    }
+    emitted: set = set()
+    output: List[SweepResult] = []
+    for scenario in scenarios:
+        sweep = sweep_by_id[scenario.scenario_id]
+        # Serial runs return independent result objects for duplicate
+        # scenarios; copy so mutating one entry never corrupts another.
+        if scenario.scenario_id in emitted:
+            sweep = copy.deepcopy(sweep)
+        emitted.add(scenario.scenario_id)
+        output.append(sweep)
+    return output
 
 
 def pairwise_statistics(

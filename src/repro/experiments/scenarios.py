@@ -53,14 +53,21 @@ class Scenario:
 
     @property
     def scenario_id(self) -> str:
-        """Compact, human-readable identifier of the scenario."""
+        """Compact, human-readable identifier of the scenario.
+
+        Covers every field that affects results — including the DAG-shape
+        knobs ``num_vertices_range`` and ``edge_probability`` — so distinct
+        scenarios never share an id (campaign stores key work units by it).
+        """
         return (
             f"m{self.platform_size}"
             f"-nr{self.resource_count_range[0]}_{self.resource_count_range[1]}"
             f"-U{self.average_utilization:g}"
             f"-pr{self.access_probability:g}"
-            f"-N{self.request_count_range[1]}"
+            f"-N{self.request_count_range[0]}_{self.request_count_range[1]}"
             f"-L{self.cs_length_range[0]:g}_{self.cs_length_range[1]:g}"
+            f"-v{self.num_vertices_range[0]}_{self.num_vertices_range[1]}"
+            f"-e{self.edge_probability:g}"
         )
 
     def generation_config(self) -> TaskSetGenerationConfig:
@@ -83,6 +90,10 @@ class Scenario:
         self, step_fraction: float = UTILIZATION_STEP_FRACTION
     ) -> List[float]:
         """Total-utilization sweep points ``step, 2*step, ..., m``."""
+        if step_fraction <= 0:
+            raise ValueError(
+                f"step fraction must be positive, got {step_fraction}"
+            )
         m = self.platform_size
         points: List[float] = []
         step = step_fraction * m

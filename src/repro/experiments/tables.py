@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from .figures import load_sweep_results
 from .metrics import PairwiseStatistics
+from .runner import pairwise_statistics
 
 #: Protocol order used by the paper's tables.
 TABLE_PROTOCOLS = ("DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP")
@@ -61,6 +63,25 @@ def render_outperformance_table(
     return _render(
         stats, "outperformance", protocols, "Table 3. Statistic for Outperformance"
     )
+
+
+def load_pairwise_statistics(
+    store_directory: str,
+    protocols: Optional[Sequence[str]] = None,
+    allow_partial: bool = True,
+) -> PairwiseStatistics:
+    """Build dominance/outperformance statistics from a campaign store.
+
+    Only scenarios whose sweep completed contribute (partial curves would
+    bias the per-scenario comparisons); pass ``allow_partial=False`` to
+    require a fully executed campaign instead.
+    """
+    results = load_sweep_results(store_directory, allow_partial=allow_partial)
+    if not results:
+        raise ValueError(
+            f"store {store_directory!r} holds no completed scenario sweeps yet"
+        )
+    return pairwise_statistics(results, protocols=protocols)
 
 
 def table_rows(

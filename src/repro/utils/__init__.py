@@ -1,5 +1,5 @@
 """Small shared utilities (random-number handling, validation helpers)."""
 
-from .rng import ensure_rng, spawn_rngs
+from .rng import ensure_rng, spawn_rngs, spawn_seeds
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "spawn_rngs", "spawn_seeds"]

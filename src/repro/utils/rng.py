@@ -26,12 +26,22 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(rng)
 
 
+def spawn_seeds(rng: RngLike, count: int) -> List[int]:
+    """Derive ``count`` independent child seeds from ``rng``.
+
+    The seeds are plain integers, so they can be serialised (e.g. into a
+    campaign manifest) and later turned back into the exact generators that
+    :func:`spawn_rngs` would have produced in place.
+    """
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
 def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``.
 
     Useful to give every task-set of a sweep its own stream so that runs can
     be parallelised or re-executed individually without changing results.
     """
-    base = ensure_rng(rng)
-    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, count)]

@@ -1,0 +1,154 @@
+"""End-to-end CLI tests: run, interrupt, resume, status, export, hash guard."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campaign import cli
+from repro.campaign.executor import build_protocols
+from repro.experiments.figures import load_sweep_results
+from repro.experiments.runner import SweepConfig, run_sweep
+from repro.experiments.scenarios import figure2_scenarios
+
+#: A cheap 2-scenario campaign: the two m=16 Fig. 2 scenarios on tiny DAGs.
+RUN_FLAGS = [
+    "--grid", "fig2",
+    "--filter", "m=16",
+    "--samples", "2",
+    "--step", "0.5",
+    "--vertices", "5,8",
+    "--protocols", "SPIN,FED-FP",
+    "--seed", "2020",
+    "--quiet",
+]
+TOTAL_UNITS = 4  # 2 scenarios x 2 utilization points
+
+
+def run_cli(*argv):
+    return cli.main(list(argv))
+
+
+def results_lines(store):
+    with open(os.path.join(store, "results.jsonl"), "rb") as handle:
+        return handle.readlines()
+
+
+def test_run_interrupt_resume_leaves_finished_units_untouched(tmp_path, capsys):
+    store = str(tmp_path / "store")
+
+    # "Kill" the campaign after 3 of 4 units.
+    assert run_cli("run", "--store", store, *RUN_FLAGS, "--max-units", "3") == 3
+    checkpointed = results_lines(store)
+    assert len(checkpointed) == 3
+
+    assert run_cli("status", "--store", store) == 0
+    assert "3/4 complete" in capsys.readouterr().out
+
+    # Resume executes only the missing unit: the raw bytes (contents AND
+    # completed_at timestamps) of the finished units' records are untouched.
+    assert run_cli("resume", "--store", store, "--quiet") == 0
+    final = results_lines(store)
+    assert len(final) == TOTAL_UNITS
+    assert final[:3] == checkpointed
+
+    # Resuming a complete campaign executes nothing and rewrites nothing.
+    assert run_cli("resume", "--store", store, "--quiet") == 0
+    assert results_lines(store) == final
+
+
+def test_parallel_cli_run_is_bit_identical_to_serial_run_sweep(tmp_path):
+    store = str(tmp_path / "store")
+    assert run_cli("run", "--store", store, *RUN_FLAGS, "--workers", "4") == 0
+
+    [loaded_a, loaded_c] = load_sweep_results(store)
+    config = SweepConfig(
+        samples_per_point=2,
+        utilization_step_fraction=0.5,
+        seed=2020,
+    )
+    figures = figure2_scenarios(num_vertices_range=(5, 8))
+    for loaded, key in ((loaded_a, "a"), (loaded_c, "c")):
+        serial = run_sweep(
+            figures[key], protocols=build_protocols(["SPIN", "FED-FP"]), config=config
+        )
+        assert loaded.scenario == serial.scenario
+        for name in ("SPIN", "FED-FP"):
+            assert loaded.curves[name].utilizations == serial.curves[name].utilizations
+            assert loaded.curves[name].accepted == serial.curves[name].accepted
+            assert loaded.curves[name].sampled == serial.curves[name].sampled
+            assert (
+                loaded.curves[name].generation_failures
+                == serial.curves[name].generation_failures
+            )
+
+
+def test_rerun_with_mismatched_config_is_refused(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert run_cli("run", "--store", store, *RUN_FLAGS, "--max-units", "1") == 3
+    mismatched = [flag if flag != "2" else "5" for flag in RUN_FLAGS]
+    assert run_cli("run", "--store", store, *mismatched) == 2
+    assert "different campaign configuration" in capsys.readouterr().err
+    # The original configuration still resumes fine.
+    assert run_cli("run", "--store", store, *RUN_FLAGS) == 0
+
+
+def test_export_writes_series_and_tables(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    out = str(tmp_path / "out")
+    assert run_cli("run", "--store", store, *RUN_FLAGS) == 0
+    assert run_cli("export", "--store", store, "--out", out, "--strict") == 0
+    files = sorted(os.listdir(out))
+    assert "tables.txt" in files
+    csvs = [name for name in files if name.endswith(".csv")]
+    assert len(csvs) == 2
+    with open(os.path.join(out, csvs[0])) as handle:
+        header = handle.readline().strip()
+    assert header == "utilization,normalized_utilization,SPIN,FED-FP,generation_failures"
+    tables = open(os.path.join(out, "tables.txt")).read()
+    assert "Dominance" in tables and "Outperformance" in tables
+
+
+def test_export_of_partial_store_skips_incomplete_scenarios(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    out = str(tmp_path / "out")
+    assert run_cli("run", "--store", store, *RUN_FLAGS, "--max-units", "2") == 3
+    assert run_cli("export", "--store", store, "--out", out) == 0
+    assert "skipped 1 incomplete scenario" in capsys.readouterr().out
+    assert len([n for n in os.listdir(out) if n.endswith(".csv")]) == 1
+    # --strict refuses partial stores instead.
+    assert run_cli("export", "--store", store, "--out", out, "--strict") == 2
+
+
+def test_status_of_missing_store_fails_cleanly(tmp_path, capsys):
+    assert run_cli("status", "--store", str(tmp_path / "nope")) == 2
+    assert "holds no campaign" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_arguments(tmp_path):
+    with pytest.raises(SystemExit):
+        run_cli("run", "--store", str(tmp_path), "--vertices", "oops")
+    with pytest.raises(SystemExit):
+        run_cli("run", "--store", str(tmp_path), "--protocols", "NOPE")
+    assert (
+        run_cli("run", "--store", str(tmp_path / "s"), *RUN_FLAGS, "--filter", "m=99")
+        == 2
+    )
+
+
+def test_cli_rejects_duplicate_protocols_and_bad_step(tmp_path):
+    with pytest.raises(SystemExit):
+        run_cli("run", "--store", str(tmp_path / "s"), "--protocols", "SPIN,SPIN")
+    # step <= 0 would loop forever in the planner; SweepConfig refuses it.
+    assert (
+        run_cli("run", "--store", str(tmp_path / "s"), *RUN_FLAGS, "--step", "0")
+        == 2
+    )
+
+
+def test_cli_rejects_non_positive_limit(tmp_path):
+    assert (
+        run_cli("run", "--store", str(tmp_path / "s"), *RUN_FLAGS, "--limit", "-1")
+        == 2
+    )

@@ -1,0 +1,185 @@
+"""Tests for the work-unit planner: seeds, manifests, scenario selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.planner import (
+    CampaignPlan,
+    campaign_manifest,
+    config_hash,
+    grid_scenarios,
+    parse_filter,
+    plan_campaign,
+    plan_from_manifest,
+    plan_scenario_units,
+    scenario_from_dict,
+    scenario_to_dict,
+    select_scenarios,
+)
+from repro.experiments.runner import SweepConfig
+from repro.experiments.scenarios import Scenario, full_grid
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+@pytest.fixture
+def scenario():
+    return Scenario(
+        platform_size=8,
+        resource_count_range=(2, 3),
+        average_utilization=1.5,
+        access_probability=0.5,
+        request_count_range=(1, 5),
+        cs_length_range=(15.0, 50.0),
+        num_vertices_range=(6, 10),
+    )
+
+
+@pytest.fixture
+def config():
+    return SweepConfig(samples_per_point=3, utilization_step_fraction=0.25, seed=7)
+
+
+# --------------------------------------------------------------------------- #
+# Unit planning and seed derivation
+# --------------------------------------------------------------------------- #
+def test_plan_scenario_units_one_per_point(scenario, config):
+    units = plan_scenario_units(scenario, config)
+    points = scenario.utilization_points(config.utilization_step_fraction)
+    assert [u.utilization for u in units] == points
+    assert [u.point_index for u in units] == list(range(len(points)))
+    assert all(u.samples_per_point == 3 for u in units)
+    assert len({u.unit_id for u in units}) == len(units)
+
+
+def test_unit_seeds_are_deterministic_and_match_serial_spawning(scenario, config):
+    units_a = plan_scenario_units(scenario, config)
+    units_b = plan_scenario_units(scenario, config)
+    assert [u.seed for u in units_a] == [u.seed for u in units_b]
+    # The per-unit seeds regenerate exactly the per-point generators the
+    # serial sweep would spawn from the campaign seed.
+    point_rngs = spawn_rngs(ensure_rng(config.seed), len(units_a))
+    for unit, rng in zip(units_a, point_rngs):
+        expected = rng.integers(0, 2**31, size=4)
+        observed = ensure_rng(unit.seed).integers(0, 2**31, size=4)
+        assert list(expected) == list(observed)
+
+
+def test_plan_campaign_rejects_duplicates_and_empty(scenario, config):
+    with pytest.raises(ValueError):
+        plan_campaign([scenario, scenario], config)
+    with pytest.raises(ValueError):
+        plan_campaign([], config)
+
+
+def test_plan_campaign_units_are_scenario_major(scenario, config):
+    from dataclasses import replace
+
+    other = replace(scenario, access_probability=0.75)
+    plan = plan_campaign([scenario, other], config, ["SPIN"])
+    assert len(plan.units) == 8
+    assert plan.units[0].scenario == scenario
+    assert plan.units[4].scenario == other
+
+
+# --------------------------------------------------------------------------- #
+# Manifest round trips and hashing
+# --------------------------------------------------------------------------- #
+def test_scenario_dict_roundtrip(scenario):
+    assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+
+def test_manifest_roundtrip_preserves_units(scenario, config):
+    plan = plan_campaign([scenario], config, ["SPIN", "FED-FP"])
+    manifest = campaign_manifest(plan)
+    rebuilt = plan_from_manifest(manifest)
+    assert isinstance(rebuilt, CampaignPlan)
+    assert rebuilt.protocol_names == ["SPIN", "FED-FP"]
+    assert [u.unit_id for u in rebuilt.units] == [u.unit_id for u in plan.units]
+    assert [u.seed for u in rebuilt.units] == [u.seed for u in plan.units]
+
+
+def test_config_hash_ignores_cosmetic_fields_but_not_config(scenario, config):
+    plan = plan_campaign([scenario], config, ["SPIN"])
+    manifest = campaign_manifest(plan)
+    cosmetic = dict(manifest, created_at="2020-07-20T00:00:00Z")
+    assert config_hash(cosmetic) == manifest["config_hash"]
+
+    changed = plan_campaign(
+        [scenario],
+        SweepConfig(samples_per_point=4, utilization_step_fraction=0.25, seed=7),
+        ["SPIN"],
+    )
+    assert campaign_manifest(changed)["config_hash"] != manifest["config_hash"]
+
+
+def test_manifest_requires_concrete_seed(scenario):
+    config = SweepConfig(seed=None)
+    plan = plan_campaign([scenario], config, ["SPIN"])
+    with pytest.raises(ValueError):
+        campaign_manifest(plan)
+
+
+# --------------------------------------------------------------------------- #
+# Scenario selection
+# --------------------------------------------------------------------------- #
+def test_parse_filter_understands_all_keys():
+    criteria = parse_filter("m=16, pr=0.5, U=1.5, nr=4-8, N=50, L=50-100")
+    assert criteria["m"] == 16
+    assert criteria["pr"] == 0.5
+    assert criteria["U"] == 1.5
+    assert criteria["nr"] == (4.0, 8.0)
+    assert criteria["N"] == 50
+    assert criteria["L"] == (50.0, 100.0)
+
+
+def test_parse_filter_rejects_unknown_keys_and_bad_terms():
+    with pytest.raises(ValueError):
+        parse_filter("bogus=1")
+    with pytest.raises(ValueError):
+        parse_filter("m16")
+
+
+def test_select_scenarios_filters_the_grid():
+    grid = full_grid()
+    slice_ = select_scenarios(grid, "m=16,pr=0.5")
+    assert len(slice_) == 216 // (3 * 3)
+    assert all(s.platform_size == 16 and s.access_probability == 0.5 for s in slice_)
+    narrow = select_scenarios(grid, "m=16,pr=0.5,nr=4-8,U=1.5,N=50,L=50-100")
+    assert len(narrow) == 1
+    assert select_scenarios(grid, None) == grid
+
+
+def test_grid_scenarios_named_grids():
+    assert len(grid_scenarios("full")) == 216
+    fig2 = grid_scenarios("fig2", num_vertices_range=(5, 10))
+    assert len(fig2) == 4
+    assert all(s.num_vertices_range == (5, 10) for s in fig2)
+    with pytest.raises(ValueError):
+        grid_scenarios("fig3")
+
+
+def test_scenarios_differing_only_in_dag_shape_are_distinct(scenario, config):
+    from dataclasses import replace
+
+    other = replace(scenario, num_vertices_range=(5, 10))
+    assert scenario.scenario_id != other.scenario_id
+    plan = plan_campaign([scenario, other], config)
+    assert len(plan.units) == 2 * len(plan_scenario_units(scenario, config))
+
+
+def test_empty_sweeps_are_rejected_at_planning_time(scenario):
+    import pytest
+
+    from repro.experiments.runner import SweepConfig
+
+    with pytest.raises(ValueError, match="fraction"):
+        SweepConfig(utilization_step_fraction=1.5)
+    with pytest.raises(ValueError):
+        scenario.utilization_points(-1)
+
+
+def test_scenario_id_covers_request_count_lower_bound(scenario):
+    from dataclasses import replace
+
+    assert scenario.scenario_id != replace(scenario, request_count_range=(2, 5)).scenario_id

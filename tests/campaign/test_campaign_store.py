@@ -1,0 +1,137 @@
+"""Tests for the on-disk campaign store: checkpoints, resume, hash guard."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.planner import campaign_manifest, plan_campaign
+from repro.campaign.store import (
+    CampaignStore,
+    ConfigMismatchError,
+    StoreError,
+)
+from repro.experiments.runner import SweepConfig
+from repro.experiments.scenarios import Scenario
+
+
+@pytest.fixture
+def scenario():
+    return Scenario(
+        platform_size=8,
+        resource_count_range=(2, 3),
+        average_utilization=1.5,
+        access_probability=0.5,
+        request_count_range=(1, 5),
+        cs_length_range=(15.0, 50.0),
+        num_vertices_range=(6, 10),
+    )
+
+
+@pytest.fixture
+def manifest(scenario):
+    plan = plan_campaign(
+        [scenario],
+        SweepConfig(samples_per_point=2, utilization_step_fraction=0.5, seed=11),
+        ["SPIN"],
+    )
+    return campaign_manifest(plan)
+
+
+def record(unit_id, accepted=1):
+    return {
+        "unit_id": unit_id,
+        "scenario_id": "s",
+        "point_index": 0,
+        "utilization": 4.0,
+        "accepted": {"SPIN": accepted},
+        "evaluated": 2,
+        "generation_failures": 0,
+        "elapsed_seconds": 0.1,
+    }
+
+
+def test_initialize_append_load_roundtrip(tmp_path, manifest):
+    store = CampaignStore(str(tmp_path / "store"))
+    assert not store.exists()
+    store.initialize(manifest)
+    assert store.exists()
+    assert store.read_manifest()["config_hash"] == manifest["config_hash"]
+
+    store.append(record("u1"))
+    store.append(record("u2", accepted=0))
+    records = store.load_records()
+    assert set(records) == {"u1", "u2"}
+    assert records["u1"]["accepted"] == {"SPIN": 1}
+    assert "completed_at" in records["u1"]
+    assert store.completed_ids() == {"u1", "u2"}
+    assert store.pending_ids(["u1", "u2", "u3"]) == {"u3"}
+
+
+def test_duplicate_records_keep_the_first(tmp_path, manifest):
+    store = CampaignStore(str(tmp_path))
+    store.initialize(manifest)
+    store.append(record("u1", accepted=1))
+    store.append(record("u1", accepted=2))
+    assert store.load_records()["u1"]["accepted"] == {"SPIN": 1}
+
+
+def test_torn_trailing_line_is_ignored(tmp_path, manifest):
+    store = CampaignStore(str(tmp_path))
+    store.initialize(manifest)
+    store.append(record("u1"))
+    with open(store.results_path, "a") as handle:
+        handle.write('{"unit_id": "u2", "accepted": {"SP')  # killed mid-write
+    assert set(store.load_records()) == {"u1"}
+
+
+def test_config_mismatch_is_refused(tmp_path, manifest, scenario):
+    store = CampaignStore(str(tmp_path))
+    store.initialize(manifest)
+    other_plan = plan_campaign(
+        [scenario],
+        SweepConfig(samples_per_point=5, utilization_step_fraction=0.5, seed=11),
+        ["SPIN"],
+    )
+    other_manifest = campaign_manifest(other_plan)
+    with pytest.raises(ConfigMismatchError):
+        store.initialize(other_manifest)
+    # The matching manifest still opens fine.
+    store.initialize(manifest)
+
+
+def test_missing_and_corrupt_manifests(tmp_path, manifest):
+    store = CampaignStore(str(tmp_path / "nowhere"))
+    with pytest.raises(StoreError):
+        store.read_manifest()
+
+    tampered_dir = tmp_path / "tampered"
+    store = CampaignStore(str(tampered_dir))
+    store.initialize(manifest)
+    with open(store.manifest_path) as handle:
+        data = json.load(handle)
+    data["sweep_config"]["samples_per_point"] = 999  # silent edit, stale hash
+    with open(store.manifest_path, "w") as handle:
+        json.dump(data, handle)
+    with pytest.raises(ConfigMismatchError):
+        store.read_manifest()
+
+
+def test_foreign_or_future_manifests_are_refused(tmp_path, manifest):
+    store = CampaignStore(str(tmp_path / "future"))
+    store.initialize(manifest)
+    with open(store.manifest_path) as handle:
+        data = json.load(handle)
+    data["format_version"] = 999
+    with open(store.manifest_path, "w") as handle:
+        json.dump(data, handle)
+    with pytest.raises(StoreError, match="format"):
+        store.read_manifest()
+
+    foreign_dir = tmp_path / "foreign"
+    foreign_dir.mkdir()
+    with open(foreign_dir / "manifest.json", "w") as handle:
+        json.dump({"name": "some other tool"}, handle)
+    with pytest.raises(StoreError):  # not a raw KeyError
+        CampaignStore(str(foreign_dir)).read_manifest()

@@ -44,6 +44,19 @@ def test_sweep_curve_validates_inputs():
         c.add_point(1.0, accepted=11, sampled=10)
 
 
+def test_sweep_curve_records_generation_failures():
+    c = SweepCurve(protocol="A")
+    c.add_point(1.0, accepted=1, sampled=2, generation_failures=1)
+    c.add_point(2.0, accepted=0, sampled=0, generation_failures=3)
+    assert c.generation_failures == [1, 3]
+    assert c.total_generation_failures == 4
+    ratios = c.acceptance_ratios
+    assert ratios[0] == 0.5
+    assert ratios[1] != ratios[1]  # NaN, not a fabricated 0/1 ratio
+    with pytest.raises(ValueError):
+        c.add_point(3.0, accepted=0, sampled=1, generation_failures=-1)
+
+
 # --------------------------------------------------------------------------- #
 # Dominance / outperformance
 # --------------------------------------------------------------------------- #
@@ -64,6 +77,19 @@ def test_dominates_requires_never_below_and_somewhere_above():
     assert not dominates(a, c)  # crossover
     assert not dominates(c, a)
     assert not dominates(a, curve("D", [1.0, 0.8, 0.5]))  # identical curves
+
+
+def test_dominates_ignores_points_without_realised_task_sets():
+    a = curve("A", [1.0, 0.8])
+    b = curve("B", [0.9, 0.8])
+    a.add_point(3.0, accepted=0, sampled=0, generation_failures=5)
+    b.add_point(3.0, accepted=0, sampled=0, generation_failures=5)
+    assert dominates(a, b)  # the NaN point carries no information
+    assert not dominates(b, a)
+    empty_a, empty_b = SweepCurve(protocol="A"), SweepCurve(protocol="B")
+    empty_a.add_point(1.0, 0, 0, generation_failures=2)
+    empty_b.add_point(1.0, 0, 0, generation_failures=2)
+    assert not dominates(empty_a, empty_b)
 
 
 def test_dominates_requires_matching_points():
@@ -132,3 +158,12 @@ def test_table_rows_structure():
     assert first["SPIN"] == 4
     with pytest.raises(ValueError):
         table_rows(stats, "nonsense")
+
+
+def test_weighted_acceptance_is_nan_without_realised_samples():
+    import math
+
+    empty = SweepCurve(protocol="A")
+    empty.add_point(1.0, accepted=0, sampled=0, generation_failures=3)
+    aggregated = weighted_acceptance([empty])
+    assert math.isnan(aggregated["A"])

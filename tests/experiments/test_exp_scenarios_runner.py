@@ -157,6 +157,36 @@ def test_ascii_plot_contains_legend(tiny_sweep):
     assert "FED-FP" in art
 
 
+def test_failed_points_are_surfaced_not_fabricated():
+    """A point where every task-set draw failed renders as n/a, not 0/1."""
+    from repro.experiments.metrics import SweepCurve
+    from repro.experiments.runner import SweepResult
+
+    scenario = full_grid()[0]
+    result = SweepResult(scenario=scenario)
+    curve = SweepCurve(protocol="FED-FP")
+    curve.add_point(2.0, accepted=1, sampled=2, generation_failures=0)
+    curve.add_point(4.0, accepted=0, sampled=0, generation_failures=2)
+    result.curves["FED-FP"] = curve
+
+    series = acceptance_series(result)
+    assert series[0]["generation_failures"] == 0
+    assert series[1]["generation_failures"] == 2
+    assert series[1]["FED-FP"] != series[1]["FED-FP"]  # NaN
+
+    table = render_series_table(result)
+    assert "n/a" in table
+    assert "fails" in table
+
+    csv_text = series_to_csv(result)
+    lines = csv_text.splitlines()
+    assert lines[0].endswith("generation_failures")
+    assert lines[2].endswith(",,2")  # empty ratio cell, 2 failed draws
+
+    art = render_ascii_plot(result)
+    assert "FED-FP" in art  # NaN point renders as a gap, not a crash
+
+
 def test_series_csv_roundtrip(tiny_sweep, tmp_path):
     csv_text = series_to_csv(tiny_sweep)
     assert csv_text.splitlines()[0].startswith("utilization,normalized_utilization")
@@ -164,3 +194,15 @@ def test_series_csv_roundtrip(tiny_sweep, tmp_path):
     write_series_csv(tiny_sweep, str(target))
     assert target.read_text() == csv_text
     assert len(csv_text.splitlines()) == 5  # header + 4 points
+
+
+def test_parallel_run_campaign_requires_a_concrete_seed():
+    scenario = full_grid()[0]
+    config = SweepConfig(samples_per_point=1, utilization_step_fraction=0.5, seed=None)
+    with pytest.raises(ValueError, match="seed"):
+        run_campaign([scenario], config=config, workers=2)
+
+
+def test_run_campaign_empty_selection_is_consistent_across_workers():
+    assert run_campaign([], workers=1) == []
+    assert run_campaign([], workers=4) == []
