@@ -58,12 +58,13 @@ def test_bench_taskset_generation(benchmark, workload):
     benchmark(lambda: generate_taskset(6.0, config, rng=next(counter)))
 
 
-def test_bench_path_enumeration(benchmark, workload):
-    """Complete-path enumeration with signature deduplication."""
+@pytest.mark.parametrize("algorithm", ["dp", "walk"])
+def test_bench_path_enumeration(benchmark, workload, algorithm):
+    """Complete-path enumeration (signature DP vs the reference walk)."""
     _, taskset, _ = workload
 
     def enumerate_all():
-        enumerator = PathEnumerator()
+        enumerator = PathEnumerator(algorithm=algorithm)
         return [enumerator.enumerate(task).profiles for task in taskset]
 
     benchmark(enumerate_all)
@@ -79,11 +80,30 @@ def test_bench_wfd_partitioning(benchmark, workload):
 
 @pytest.mark.parametrize(
     "protocol_factory",
-    [DpcpPEpTest, DpcpPEnTest, SpinTest, LppTest],
-    ids=["DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP"],
+    [
+        DpcpPEpTest,
+        DpcpPEnTest,
+        SpinTest,
+        LppTest,
+        lambda: DpcpPEpTest(engine="reference"),
+        lambda: DpcpPEnTest(engine="reference"),
+    ],
+    ids=[
+        "DPCP-p-EP",
+        "DPCP-p-EN",
+        "SPIN",
+        "LPP",
+        "DPCP-p-EP-reference",
+        "DPCP-p-EN-reference",
+    ],
 )
 def test_bench_schedulability_test(benchmark, workload, protocol_factory):
-    """One full schedulability test (partitioning + analysis)."""
+    """One full schedulability test (partitioning + analysis).
+
+    The DPCP-p variants default to the vectorized kernel; the ``-reference``
+    ids run the retained straight-line oracle so the kernel's speedup stays
+    visible in the benchmark history.
+    """
     _, taskset, platform = workload
     protocol = protocol_factory()
     benchmark(lambda: protocol.test(taskset, platform))

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Record component benchmark timings and the speedup versus the seed.
+
+Runs :mod:`benchmarks.bench_components` (simulation excluded — it needs a
+schedulable reference workload and dominates the runtime) on the fixed
+workload seed baked into the module, extracts the per-component median
+timings, and writes a JSON report next to the repository root:
+
+* ``seed_us`` — the pre-optimization baseline medians.  Taken from
+  ``--baseline-json`` (a raw pytest-benchmark export measured on the seed
+  implementation) when given; otherwise carried over from the ``seed_us``
+  section of an existing output file, so re-runs keep comparing against the
+  original seed numbers.
+* ``current_us`` — medians of this run.
+* ``speedup_vs_seed`` — ``seed / current`` per component (only where a seed
+  measurement exists; new benchmark variants such as the ``-reference``
+  oracle engines have no seed counterpart).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench.py [--out BENCH_PR2.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_components.py")
+
+#: Parametrized benchmark ids whose seed counterpart was unparametrized.
+SEED_NAME_ALIASES = {
+    "test_bench_path_enumeration[dp]": "test_bench_path_enumeration",
+}
+
+
+def run_benchmarks(selector: str) -> dict:
+    """Run the component benchmarks and return ``{name: median_us}``."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    try:
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            BENCH_FILE,
+            "-q",
+            "--benchmark-only",
+            f"--benchmark-json={json_path}",
+            "-k",
+            selector,
+            "-p",
+            "no:cacheprovider",
+        ]
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+            "PYTHONPATH", ""
+        )
+        subprocess.run(command, check=True, cwd=REPO_ROOT, env=env)
+        with open(json_path) as fh:
+            data = json.load(fh)
+    finally:
+        os.unlink(json_path)
+    return {
+        bench["name"]: round(bench["stats"]["median"] * 1e6, 3)
+        for bench in data["benchmarks"]
+    }
+
+
+def load_seed_baseline(args: argparse.Namespace) -> dict:
+    """Seed medians from --baseline-json, or the previous output file."""
+    if args.baseline_json:
+        with open(args.baseline_json) as fh:
+            data = json.load(fh)
+        return {
+            bench["name"]: round(bench["stats"]["median"] * 1e6, 3)
+            for bench in data["benchmarks"]
+        }
+    if os.path.exists(args.seed_from):
+        with open(args.seed_from) as fh:
+            return json.load(fh).get("seed_us", {})
+    return {}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "BENCH_PR2.json"),
+        help="output report path (default: BENCH_PR2.json at the repo root)",
+    )
+    parser.add_argument(
+        "--seed-from",
+        default=os.path.join(REPO_ROOT, "BENCH_PR2.json"),
+        help="existing report whose seed_us section is carried over",
+    )
+    parser.add_argument(
+        "--baseline-json",
+        default=None,
+        help="raw pytest-benchmark JSON measured on the seed implementation",
+    )
+    parser.add_argument(
+        "--selector",
+        default="not simulation",
+        help="pytest -k selector over the component benchmarks",
+    )
+    args = parser.parse_args(argv)
+
+    seed = load_seed_baseline(args)
+    current = run_benchmarks(args.selector)
+    speedup = {}
+    for name, value in sorted(current.items()):
+        seed_name = SEED_NAME_ALIASES.get(name, name)
+        if seed_name in seed and value > 0:
+            speedup[name] = round(seed[seed_name] / value, 2)
+
+    report = {
+        "format": 1,
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "workload": (
+            "bench_components fixed workload: generate_taskset(6.0, vertex_max=30, "
+            "rng=1) on Platform(16); medians in microseconds"
+        ),
+        "seed_us": seed,
+        "current_us": current,
+        "speedup_vs_seed": speedup,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+    width = max(len(n) for n in current) if current else 0
+    print(f"\n{'component':<{width}}  {'current':>10}  {'seed':>10}  speedup")
+    for name, value in sorted(current.items()):
+        seed_name = SEED_NAME_ALIASES.get(name, name)
+        base = seed.get(seed_name)
+        base_txt = f"{base:>10.1f}" if base else f"{'-':>10}"
+        ratio = f"{speedup[name]:.2f}x" if name in speedup else "-"
+        print(f"{name:<{width}}  {value:>10.1f}  {base_txt}  {ratio}")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,13 @@
 """Schedulability analyses: DPCP-p (EP/EN) and the baseline protocols."""
 
-from .dpcp_p import DpcpPEnTest, DpcpPEpTest, DpcpPTest
+from .dpcp_p import (
+    DpcpPEnTest,
+    DpcpPEpTest,
+    DpcpPKernel,
+    DpcpPTest,
+    ENGINE_KERNEL,
+    ENGINE_REFERENCE,
+)
 from .fedfp import FedFpTest, federated_wcrt
 from .interfaces import (
     SchedulabilityResult,
@@ -10,7 +17,12 @@ from .interfaces import (
 )
 from .lpp import LppTest
 from .paths import PathEnumerator, PathEnumerationResult, critical_path_only
-from .rta import ceil_div_jobs, least_fixed_point
+from .rta import (
+    FixedPointNoConvergence,
+    ceil_div_jobs,
+    least_fixed_point,
+    least_fixed_point_status,
+)
 from .spin import SpinTest
 
 def default_protocols():
@@ -29,7 +41,10 @@ def default_protocols():
 __all__ = [
     "DpcpPEnTest",
     "DpcpPEpTest",
+    "DpcpPKernel",
     "DpcpPTest",
+    "ENGINE_KERNEL",
+    "ENGINE_REFERENCE",
     "FedFpTest",
     "federated_wcrt",
     "SchedulabilityResult",
@@ -42,6 +57,8 @@ __all__ = [
     "critical_path_only",
     "ceil_div_jobs",
     "least_fixed_point",
+    "least_fixed_point_status",
+    "FixedPointNoConvergence",
     "SpinTest",
     "default_protocols",
 ]

@@ -8,6 +8,7 @@ from .interference import (
     intra_task_interference_en,
     vertex_non_critical_wcet,
 )
+from .kernel import DpcpPKernel
 from .partition import WfdOutcome, partition_and_analyze, wfd_assign_resources
 from .protocol import (
     DEFAULT_MAX_PATH_SIGNATURES,
@@ -15,9 +16,23 @@ from .protocol import (
     DpcpPEpTest,
     DpcpPTest,
 )
-from .wcrt import MODE_EN, MODE_EP, analyze_taskset, path_wcrt, task_wcrt_en, task_wcrt_ep
+from .wcrt import (
+    DEFAULT_ENGINE,
+    ENGINE_KERNEL,
+    ENGINE_REFERENCE,
+    MODE_EN,
+    MODE_EP,
+    analyze_taskset,
+    path_wcrt,
+    task_wcrt_en,
+    task_wcrt_ep,
+)
 
 __all__ = [
+    "DpcpPKernel",
+    "DEFAULT_ENGINE",
+    "ENGINE_KERNEL",
+    "ENGINE_REFERENCE",
     "inter_task_blocking",
     "intra_task_blocking",
     "request_response_time",

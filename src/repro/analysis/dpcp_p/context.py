@@ -34,6 +34,33 @@ class DpcpPContext:
         self.taskset = taskset
         self.partition = partition
         self.response_times: Dict[int, float] = dict(response_times or {})
+        self._kernel = None
+
+    @property
+    def kernel(self):
+        """The vectorized analysis kernel for this (taskset, partition).
+
+        Built lazily on first access (or attached via :meth:`attach_kernel`)
+        and cached; the carried-in response-time bounds are re-synced from
+        :attr:`response_times` on every access, so direct mutation of that
+        dict between per-task analyses is safe.
+        """
+        if self._kernel is None:
+            from .kernel import DpcpPKernel
+
+            self._kernel = DpcpPKernel(self.taskset, self.partition)
+        self._kernel.sync_response_times(self.response_times)
+        return self._kernel
+
+    def attach_kernel(self, kernel) -> None:
+        """Use ``kernel`` (e.g. one sharing a static cache) for this context.
+
+        The kernel must have been built for this context's taskset and
+        partition; response times are still synced on every access.
+        """
+        if kernel.taskset is not self.taskset or kernel.partition is not self.partition:
+            raise ValueError("kernel was built for a different taskset/partition")
+        self._kernel = kernel
 
     # ------------------------------------------------------------------ #
     # Generic task quantities

@@ -23,7 +23,7 @@ from ...model.platform import (
 from ...model.task import TaskSet
 from ..interfaces import SchedulabilityResult, TaskAnalysis, UNBOUNDED
 from ..paths import PathEnumerator
-from .wcrt import MODE_EN, MODE_EP, analyze_taskset
+from .wcrt import DEFAULT_ENGINE, ENGINE_KERNEL, MODE_EN, MODE_EP, analyze_taskset
 
 
 @dataclass
@@ -45,11 +45,10 @@ def wfd_assign_resources(
     cluster with the maximum utilization slack.  The assignment is infeasible
     when the chosen cluster would exceed its capacity.
     """
-    resources = sorted(
-        taskset.global_resources(),
-        key=lambda rid: taskset.resource_utilization(rid),
-        reverse=True,
-    )
+    utilizations = {
+        rid: taskset.resource_utilization(rid) for rid in taskset.global_resources()
+    }
+    resources = sorted(utilizations, key=lambda rid: utilizations[rid], reverse=True)
     capacity: Dict[int, float] = {tid: float(c.size) for tid, c in clusters.items()}
     usage: Dict[int, float] = {
         tid: taskset.task(tid).utilization for tid in clusters
@@ -60,7 +59,7 @@ def wfd_assign_resources(
     assignment: Dict[int, int] = {}
 
     for rid in resources:
-        utilization = taskset.resource_utilization(rid)
+        utilization = utilizations[rid]
         best_cluster = max(
             clusters, key=lambda tid: (capacity[tid] - usage[tid], -tid)
         )
@@ -88,6 +87,7 @@ def partition_and_analyze(
     mode: str = MODE_EP,
     enumerator: Optional[PathEnumerator] = None,
     protocol_name: str = "DPCP-p",
+    engine: str = DEFAULT_ENGINE,
 ) -> SchedulabilityResult:
     """Algorithm 1: iterative task/resource partitioning plus analysis.
 
@@ -103,6 +103,11 @@ def partition_and_analyze(
             reason="not enough processors for the minimal federated assignment",
         )
     enumerator = enumerator or PathEnumerator()
+    static_cache = None
+    if engine == ENGINE_KERNEL:
+        from .kernel import KernelStaticCache
+
+        static_cache = KernelStaticCache()
 
     while True:
         wfd = wfd_assign_resources(taskset, clusters)
@@ -113,7 +118,14 @@ def partition_and_analyze(
                 reason=f"WFD resource assignment infeasible: {wfd.reason}",
             )
         partition = PartitionedSystem(taskset, platform, clusters, wfd.assignment)
-        analyses = analyze_taskset(taskset, partition, mode=mode, enumerator=enumerator)
+        analyses = analyze_taskset(
+            taskset,
+            partition,
+            mode=mode,
+            enumerator=enumerator,
+            engine=engine,
+            static_cache=static_cache,
+        )
 
         failing = _first_failing_task(taskset, analyses)
         if failing is None:

@@ -10,6 +10,16 @@ Two analysis variants are provided:
   worst admissible value (the approach of the prior work [6], [11]); this is
   sound for every path and therefore also serves as the fallback when path
   enumeration is truncated.
+
+Each bound can be computed by two interchangeable engines:
+
+* ``engine="kernel"`` (default) — the vectorized
+  :class:`~repro.analysis.dpcp_p.kernel.DpcpPKernel`, which precomputes the
+  interval-independent coefficients once per ``(taskset, partition)`` and
+  batches all fixed points of a task into elementwise NumPy iterations.
+* ``engine="reference"`` — the original straight-line implementation built
+  from :mod:`.context`, :mod:`.blocking` and :mod:`.interference`, kept as
+  the correctness oracle the kernel is validated against.
 """
 
 from __future__ import annotations
@@ -34,6 +44,16 @@ from .interference import (
 #: Analysis modes.
 MODE_EP = "EP"
 MODE_EN = "EN"
+
+#: Analysis engines.
+ENGINE_KERNEL = "kernel"
+ENGINE_REFERENCE = "reference"
+DEFAULT_ENGINE = ENGINE_KERNEL
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in (ENGINE_KERNEL, ENGINE_REFERENCE):
+        raise ValueError(f"unknown analysis engine {engine!r}")
 
 
 def _theorem1_fixed_point(
@@ -72,15 +92,13 @@ def _theorem1_fixed_point(
     return solution if solution is not None else math.inf
 
 
-def path_wcrt(
+def _path_wcrt_reference(
     ctx: DpcpPContext,
     task: DAGTask,
     profile: PathProfile,
-    divergence_bound: Optional[float] = None,
+    divergence_bound: float,
 ) -> float:
-    """WCRT bound of one concrete path (EP building block)."""
-    if divergence_bound is None:
-        divergence_bound = task.deadline
+    """Reference (straight-line) WCRT bound of one concrete path."""
     n_lambda = profile.requests
     request_windows: Dict[int, float] = {}
     for rid, count in n_lambda.items():
@@ -102,52 +120,10 @@ def path_wcrt(
     )
 
 
-def task_wcrt_ep(
-    ctx: DpcpPContext,
-    task: DAGTask,
-    enumerator: PathEnumerator,
-    divergence_bound: Optional[float] = None,
+def _task_wcrt_en_reference(
+    ctx: DpcpPContext, task: DAGTask, divergence_bound: float
 ) -> float:
-    """Eq. (1): the task WCRT bound as the maximum over its complete paths.
-
-    When the enumeration is truncated the EN bound is used as a sound
-    over-approximation of the missing paths.
-    """
-    if divergence_bound is None:
-        divergence_bound = task.deadline
-    enumeration = enumerator.enumerate(task)
-    worst = 0.0
-    for profile in enumeration.profiles:
-        bound = path_wcrt(ctx, task, profile, divergence_bound)
-        worst = max(worst, bound)
-        if math.isinf(worst):
-            return worst
-    if not enumeration.exhaustive:
-        worst = max(worst, task_wcrt_en(ctx, task, divergence_bound))
-    return worst
-
-
-def task_wcrt_en(
-    ctx: DpcpPContext,
-    task: DAGTask,
-    divergence_bound: Optional[float] = None,
-) -> float:
-    """EN-style WCRT bound (request counts of the path as free variables).
-
-    Every term of Theorem 1 is bounded by its worst admissible value over
-    :math:`N^\\lambda_{i,q} \\in [0, N_{i,q}]`:
-
-    * the path length by :math:`L^*_i`,
-    * the per-request blocking multiplier by :math:`N_{i,q}` and the windows
-      :math:`W_{i,q}` with the full intra-task request workload,
-    * the intra-task blocking by :math:`(N_{i,q}-1) L_{i,q}` for local
-      resources and the full request workload for co-located global ones,
-    * the intra-task interference by :math:`C_i - L^*_i`, and
-    * the own-agent interference by :math:`N_{i,q} L_{i,q}`.
-    """
-    if divergence_bound is None:
-        divergence_bound = task.deadline
-
+    """Reference (straight-line) EN-style WCRT bound."""
     # Path requests maximised: every request may lie on the path...
     n_lambda_full: Dict[int, int] = {
         rid: task.request_count(rid) for rid in task.used_resources()
@@ -192,12 +168,86 @@ def task_wcrt_en(
     )
 
 
+def path_wcrt(
+    ctx: DpcpPContext,
+    task: DAGTask,
+    profile: PathProfile,
+    divergence_bound: Optional[float] = None,
+    engine: str = DEFAULT_ENGINE,
+) -> float:
+    """WCRT bound of one concrete path (EP building block)."""
+    _check_engine(engine)
+    if divergence_bound is None:
+        divergence_bound = task.deadline
+    if engine == ENGINE_KERNEL:
+        return ctx.kernel.path_wcrt(task, profile, divergence_bound)
+    return _path_wcrt_reference(ctx, task, profile, divergence_bound)
+
+
+def task_wcrt_ep(
+    ctx: DpcpPContext,
+    task: DAGTask,
+    enumerator: PathEnumerator,
+    divergence_bound: Optional[float] = None,
+    engine: str = DEFAULT_ENGINE,
+) -> float:
+    """Eq. (1): the task WCRT bound as the maximum over its complete paths.
+
+    When the enumeration is truncated the EN bound is used as a sound
+    over-approximation of the missing paths.
+    """
+    _check_engine(engine)
+    if divergence_bound is None:
+        divergence_bound = task.deadline
+    enumeration = enumerator.enumerate(task)
+    if engine == ENGINE_KERNEL:
+        return ctx.kernel.task_wcrt_ep(task, enumeration, divergence_bound)
+    worst = 0.0
+    for profile in enumeration.profiles:
+        bound = _path_wcrt_reference(ctx, task, profile, divergence_bound)
+        worst = max(worst, bound)
+        if math.isinf(worst):
+            return worst
+    if not enumeration.exhaustive:
+        worst = max(worst, _task_wcrt_en_reference(ctx, task, divergence_bound))
+    return worst
+
+
+def task_wcrt_en(
+    ctx: DpcpPContext,
+    task: DAGTask,
+    divergence_bound: Optional[float] = None,
+    engine: str = DEFAULT_ENGINE,
+) -> float:
+    """EN-style WCRT bound (request counts of the path as free variables).
+
+    Every term of Theorem 1 is bounded by its worst admissible value over
+    :math:`N^\\lambda_{i,q} \\in [0, N_{i,q}]`:
+
+    * the path length by :math:`L^*_i`,
+    * the per-request blocking multiplier by :math:`N_{i,q}` and the windows
+      :math:`W_{i,q}` with the full intra-task request workload,
+    * the intra-task blocking by :math:`(N_{i,q}-1) L_{i,q}` for local
+      resources and the full request workload for co-located global ones,
+    * the intra-task interference by :math:`C_i - L^*_i`, and
+    * the own-agent interference by :math:`N_{i,q} L_{i,q}`.
+    """
+    _check_engine(engine)
+    if divergence_bound is None:
+        divergence_bound = task.deadline
+    if engine == ENGINE_KERNEL:
+        return ctx.kernel.task_wcrt_en(task, divergence_bound)
+    return _task_wcrt_en_reference(ctx, task, divergence_bound)
+
+
 def analyze_taskset(
     taskset: TaskSet,
     partition: PartitionedSystem,
     mode: str = MODE_EP,
     enumerator: Optional[PathEnumerator] = None,
     divergence_factor: float = 1.0,
+    engine: str = DEFAULT_ENGINE,
+    static_cache=None,
 ) -> Dict[int, TaskAnalysis]:
     """Analyse all tasks of a partitioned system under DPCP-p.
 
@@ -217,18 +267,31 @@ def analyze_taskset(
         The fixed-point search is abandoned once the iterate exceeds
         ``divergence_factor * deadline``; values slightly above 1.0 report
         (finite) over-deadline bounds instead of ``inf``.
+    engine:
+        ``"kernel"`` (vectorized, default) or ``"reference"`` (straight-line
+        oracle).
+    static_cache:
+        Optional :class:`~repro.analysis.dpcp_p.kernel.KernelStaticCache`
+        shared across successive partition attempts (kernel engine only), so
+        task-static coefficients are compiled once per task set instead of
+        once per retry.
     """
     if mode not in (MODE_EP, MODE_EN):
         raise ValueError(f"unknown analysis mode {mode!r}")
+    _check_engine(engine)
     enumerator = enumerator or PathEnumerator()
     ctx = DpcpPContext(taskset, partition)
+    if engine == ENGINE_KERNEL and static_cache is not None:
+        from .kernel import DpcpPKernel
+
+        ctx.attach_kernel(DpcpPKernel(taskset, partition, static_cache))
     results: Dict[int, TaskAnalysis] = {}
     for task in taskset.by_priority(descending=True):
         bound = task.deadline * max(divergence_factor, 1.0)
         if mode == MODE_EP:
-            wcrt = task_wcrt_ep(ctx, task, enumerator, bound)
+            wcrt = task_wcrt_ep(ctx, task, enumerator, bound, engine=engine)
         else:
-            wcrt = task_wcrt_en(ctx, task, bound)
+            wcrt = task_wcrt_en(ctx, task, bound, engine=engine)
         results[task.task_id] = TaskAnalysis(
             task_id=task.task_id,
             wcrt=wcrt,

@@ -10,12 +10,30 @@ concerns are handled here:
 * The number of complete paths can be exponential.  The enumerator accepts a
   cap; when the cap is exceeded the result is flagged as *not exhaustive* and
   callers fall back to the (sound but more pessimistic) EN-style bound.
+
+The default enumeration algorithm is a dynamic program over analysis
+signatures: partial signatures ``(length, per-resource request counts)`` are
+propagated along the DAG in topological order and deduplicated at every
+vertex, so the cost scales with the number of *distinct* signatures rather
+than with the (possibly exponential) number of raw paths — no path is ever
+walked individually.  The raw-path cap is enforced by the same capped
+O(V+E) counting pass the walk uses.  The original depth-first walk over raw
+paths is retained (``algorithm="walk"``) as a reference oracle.
+
+Partial signatures are deduplicated at the same rounded-length granularity
+as complete-path signatures, and extending every signature at a vertex by one
+fixed suffix preserves distinctness (up to rounding right at a signature
+boundary) — so the number of distinct partial signatures at any vertex tracks
+the number of distinct complete signatures, tripping the signature cap mid-DP
+implies the walk would (essentially) not have been exhaustive either, and the
+cap/``exhaustive`` semantics of the walk are preserved.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..model.dag import PathProfile
 from ..model.task import DAGTask
@@ -23,8 +41,18 @@ from ..model.task import DAGTask
 #: Default cap on the number of *distinct* path signatures kept per task.
 DEFAULT_MAX_SIGNATURES = 4096
 
-#: Default cap on the number of raw paths walked per task.
+#: Default cap on the number of raw paths covered per task.
 DEFAULT_MAX_PATHS = 200_000
+
+#: Enumeration algorithms: the signature-space dynamic program (default) and
+#: the raw depth-first path walk kept as a reference oracle.
+ALGORITHM_DP = "dp"
+ALGORITHM_WALK = "walk"
+
+#: Path-count threshold below which the DP enumerator delegates to the raw
+#: walk: for a handful of paths the walk's constant factor beats the
+#: per-vertex signature bookkeeping of the dynamic program.
+WALK_SHORTCUT_PATHS = 64
 
 
 @dataclass
@@ -36,15 +64,30 @@ class PathEnumerationResult:
     profiles:
         Deduplicated path profiles (one per distinct analysis signature).
     exhaustive:
-        ``True`` when every complete path was visited; ``False`` when a cap
-        was hit and the profiles only cover a subset of the paths.
+        ``True`` when every complete path is covered by the profiles;
+        ``False`` when a cap was hit and the profiles only cover a subset.
     total_paths_seen:
-        Number of raw paths walked before stopping.
+        Number of raw paths covered before stopping (the exact complete-path
+        count when the enumeration is exhaustive).
     """
 
     profiles: List[PathProfile]
     exhaustive: bool
     total_paths_seen: int
+
+
+def _merge_requests(
+    base: Tuple[Tuple[int, int], ...], extra: Tuple[Tuple[int, int], ...]
+) -> Tuple[Tuple[int, int], ...]:
+    """Merge two sorted ``(resource, count)`` tuples, summing counts."""
+    if not extra:
+        return base
+    if not base:
+        return extra
+    counts = dict(base)
+    for rid, cnt in extra:
+        counts[rid] = counts.get(rid, 0) + cnt
+    return tuple(sorted(counts.items()))
 
 
 class PathEnumerator:
@@ -55,39 +98,164 @@ class PathEnumerator:
     max_signatures:
         Cap on distinct signatures retained per task.
     max_paths:
-        Cap on raw paths walked per task.
+        Cap on raw paths covered per task.
+    algorithm:
+        ``"dp"`` (default) — the signature-space dynamic program, or
+        ``"walk"`` — the reference depth-first walk over raw paths.
+
+    Results are cached per live task object (a ``WeakKeyDictionary``), so a
+    cache entry can never outlive — or be aliased onto — its task: the former
+    ``(id(task), task_id)`` key could silently return a stale enumeration for
+    a *different* task after the original was garbage collected and its
+    ``id()`` recycled.  Entries are additionally keyed on the DAG's edge
+    count, so the supported mutation (``DAG.add_edge``) invalidates them —
+    mirroring ``DAGTask.critical_path_length``.
     """
 
     def __init__(
         self,
         max_signatures: int = DEFAULT_MAX_SIGNATURES,
         max_paths: int = DEFAULT_MAX_PATHS,
+        algorithm: str = ALGORITHM_DP,
     ) -> None:
         if max_signatures < 1 or max_paths < 1:
             raise ValueError("enumeration caps must be positive")
+        if algorithm not in (ALGORITHM_DP, ALGORITHM_WALK):
+            raise ValueError(f"unknown enumeration algorithm {algorithm!r}")
         self.max_signatures = max_signatures
         self.max_paths = max_paths
-        self._cache: Dict[Tuple[int, int], PathEnumerationResult] = {}
+        self.algorithm = algorithm
+        self._cache: "weakref.WeakKeyDictionary[DAGTask, Tuple[int, PathEnumerationResult]]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def enumerate(self, task: DAGTask) -> PathEnumerationResult:
         """Enumerate (and cache) the distinct path profiles of ``task``."""
-        key = (id(task), task.task_id)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        num_edges = task.dag.num_edges
+        cached = self._cache.get(task)
+        if cached is not None and cached[0] == num_edges:
+            return cached[1]
+        if self.algorithm == ALGORITHM_DP:
+            result = self._enumerate_dp(task)
+        else:
+            result = self._enumerate_walk(task)
+        self._cache[task] = (num_edges, result)
+        return result
 
+    # ------------------------------------------------------------------ #
+    # Signature-space dynamic program (default)
+    # ------------------------------------------------------------------ #
+    def _enumerate_dp(self, task: DAGTask) -> PathEnumerationResult:
+        """Propagate deduplicated partial signatures in topological order.
+
+        The complete-path count is checked first (one capped O(V+E) counting
+        pass, shared with the walk): astronomically many paths fall back to
+        the critical path immediately, and a trivially small count delegates
+        to the raw walk, whose constant factor is lower.
+
+        Otherwise each vertex holds a mapping ``(rounded length, request
+        tuple) -> (exact length, representative path)`` over the
+        source-to-vertex paths ending at it: deduplication happens at the
+        reference signature granularity (``round(length, 9)``, matching
+        ``PathProfile.signature()``), while the exact length travels in the
+        value so the emitted profiles carry the same floats a raw walk would
+        produce.
+        """
+        dag = task.dag
+        total_paths = dag.count_complete_paths(limit=self.max_paths + 1)
+        if total_paths > self.max_paths:
+            return self._truncated(task)
+        if total_paths <= min(WALK_SHORTCUT_PATHS, self.max_paths):
+            return self._walk(task, total_paths)
+
+        order = dag.topological_order()
+        pred_lists = dag.predecessor_lists()
+        succ_lists = dag.successor_lists()
+
+        wcets = [v.wcet for v in task.vertices]
+        vertex_requests = [
+            tuple(sorted((r, c) for r, c in v.requests.items() if c > 0))
+            for v in task.vertices
+        ]
+        # Partial signatures are keyed on the *rounded* length — the same
+        # granularity PathProfile.signature() (and hence the walk) dedups
+        # complete paths at — while the exact length travels in the value, so
+        # the emitted profiles carry the same floats a raw walk would
+        # produce.  Keying on exact lengths would let paths that the walk
+        # treats as one signature (lengths differing below 1e-9) inflate the
+        # per-vertex sets and trip the cap where the walk stays exhaustive.
+        sigs: Dict[int, Dict[Tuple, Tuple[float, Tuple[int, ...]]]] = {}
+        pending_succs = [len(succ_lists[v]) for v in range(dag.num_vertices)]
+        for v in order:
+            preds = pred_lists[v]
+            if not preds:
+                sigs[v] = {(round(wcets[v], 9), vertex_requests[v]): (wcets[v], (v,))}
+            else:
+                merged: Dict[Tuple, Tuple[float, Tuple[int, ...]]] = {}
+                for u in sorted(preds):
+                    for (_rkey, requests), (length, rep) in sigs[u].items():
+                        exact = length + wcets[v]
+                        key = (
+                            round(exact, 9),
+                            _merge_requests(requests, vertex_requests[v]),
+                        )
+                        if key not in merged:
+                            merged[key] = (exact, rep + (v,))
+                if len(merged) > self.max_signatures:
+                    return self._truncated(task)
+                sigs[v] = merged
+            # Free per-vertex signature sets as soon as every successor has
+            # consumed them (keeps peak memory proportional to the frontier).
+            for u in preds:
+                pending_succs[u] -= 1
+                if pending_succs[u] == 0 and succ_lists[u]:
+                    del sigs[u]
+
+        profiles: Dict[Tuple, PathProfile] = {}
+        for sink in range(dag.num_vertices):
+            if succ_lists[sink]:
+                continue
+            for (rkey, requests), (length, rep) in sigs[sink].items():
+                key = (rkey, requests)
+                if key not in profiles:
+                    profiles[key] = PathProfile(
+                        vertices=rep, length=length, requests=dict(requests)
+                    )
+        if len(profiles) > self.max_signatures:
+            return self._truncated(task)
+        return PathEnumerationResult(
+            profiles=list(profiles.values()),
+            exhaustive=True,
+            total_paths_seen=total_paths,
+        )
+
+    def _truncated(self, task: DAGTask) -> PathEnumerationResult:
+        """Cap-exceeded fallback: the critical path only, flagged non-exhaustive.
+
+        Callers treat any non-exhaustive enumeration by falling back to the
+        EN-style bound, which dominates every per-path bound — so the choice
+        of retained profiles does not affect the final task bound.
+        """
+        return PathEnumerationResult(
+            profiles=[task.critical_path_profile()],
+            exhaustive=False,
+            total_paths_seen=0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reference raw-path walk
+    # ------------------------------------------------------------------ #
+    def _enumerate_walk(self, task: DAGTask) -> PathEnumerationResult:
+        """The original depth-first walk over raw paths (reference oracle)."""
         # Quick pre-check: if the path count is astronomically large, skip the
         # walk entirely and only report the critical path (non-exhaustive).
         approx_count = task.dag.count_complete_paths(limit=self.max_paths + 1)
         if approx_count > self.max_paths:
-            result = PathEnumerationResult(
-                profiles=[task.critical_path_profile()],
-                exhaustive=False,
-                total_paths_seen=0,
-            )
-            self._cache[key] = result
-            return result
+            return self._truncated(task)
+        return self._walk(task, approx_count)
 
+    def _walk(self, task: DAGTask, approx_count: int) -> PathEnumerationResult:
+        """Depth-first walk over raw paths (count already known ≤ max_paths)."""
         profiles: Dict[Tuple, PathProfile] = {}
         exhaustive = True
         seen = 0
@@ -96,10 +264,14 @@ class PathEnumerator:
             profile = task.path_profile(vertices)
             signature = profile.signature()
             if signature not in profiles:
-                profiles[signature] = profile
-                if len(profiles) > self.max_signatures:
+                if len(profiles) >= self.max_signatures:
+                    # The cap is already full: a further *distinct* signature
+                    # makes the walk non-exhaustive.  (Checking before the
+                    # insert keeps the result at max_signatures profiles; the
+                    # former post-insert check leaked one extra profile.)
                     exhaustive = False
                     break
+                profiles[signature] = profile
             if seen >= self.max_paths:
                 exhaustive = seen >= approx_count
                 break
@@ -108,17 +280,27 @@ class PathEnumerator:
             profiles_list = [task.critical_path_profile()]
         else:
             profiles_list = list(profiles.values())
-        result = PathEnumerationResult(
+        return PathEnumerationResult(
             profiles=profiles_list,
             exhaustive=exhaustive,
             total_paths_seen=seen,
         )
-        self._cache[key] = result
-        return result
 
     def clear(self) -> None:
         """Drop all cached enumerations."""
         self._cache.clear()
+
+    # The cache holds weak references and is inherently per-process; campaign
+    # workers receive protocol objects (and their enumerators) via pickle, so
+    # serialization ships the configuration and starts with an empty cache.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_cache"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._cache = weakref.WeakKeyDictionary()
 
 
 def critical_path_only(task: DAGTask) -> PathEnumerationResult:

@@ -10,7 +10,8 @@ iterate exceeds a divergence bound (which the analyses interpret as
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+import warnings
+from typing import Callable, Optional, Tuple
 
 #: Default absolute convergence tolerance, in microseconds.
 DEFAULT_TOLERANCE = 1e-6
@@ -18,9 +19,66 @@ DEFAULT_TOLERANCE = 1e-6
 #: Default iteration cap; the recurrences used here converge in far fewer steps.
 DEFAULT_MAX_ITERATIONS = 10_000
 
+#: Guard subtracted inside the η ceiling so that exact multiples of the
+#: period are not rounded up by floating-point noise.  Shared by
+#: :func:`ceil_div_jobs` and the vectorized kernel's η evaluation.
+ETA_GUARD = 1e-12
+
+#: Status values returned by :func:`least_fixed_point_status`.
+CONVERGED = "converged"
+DIVERGED = "diverged"
+NO_CONVERGENCE = "no-convergence"
+
 
 class FixedPointDiverged(RuntimeError):
     """Raised internally when a recurrence exceeds its divergence bound."""
+
+
+class FixedPointNoConvergence(RuntimeWarning):
+    """A fixed-point search hit its iteration cap without converging.
+
+    Unlike divergence past the bound (a definitive "no relevant fixed point"
+    answer), hitting the iteration cap means the search was inconclusive; the
+    analyses still treat the task as unbounded, but the situation is surfaced
+    as a warning so slowly-converging systems are not silently conflated with
+    genuinely diverging ones.
+    """
+
+
+def least_fixed_point_status(
+    recurrence: Callable[[float], float],
+    start: float,
+    divergence_bound: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Tuple[Optional[float], str]:
+    """Like :func:`least_fixed_point`, but also reports *why* it stopped.
+
+    Returns ``(value, status)`` where ``status`` is :data:`CONVERGED` (and
+    ``value`` is the least fixed point), :data:`DIVERGED` (an iterate — or the
+    start value — exceeded ``divergence_bound``, or the recurrence produced
+    NaN), or :data:`NO_CONVERGENCE` (``max_iterations`` exhausted without
+    meeting the tolerance).  ``value`` is ``None`` for both failure statuses.
+    """
+    if math.isinf(start) or math.isnan(start):
+        return None, DIVERGED
+    current = float(start)
+    if current > divergence_bound:
+        return None, DIVERGED
+    for _ in range(max_iterations):
+        nxt = float(recurrence(current))
+        if math.isnan(nxt):
+            return None, DIVERGED
+        if nxt < current - tolerance:
+            # A monotone recurrence should never decrease; clamp defensively
+            # so that rounding noise cannot cause oscillation.
+            nxt = current
+        if nxt > divergence_bound:
+            return None, DIVERGED
+        if abs(nxt - current) <= tolerance:
+            return nxt, CONVERGED
+        current = nxt
+    return None, NO_CONVERGENCE
 
 
 def least_fixed_point(
@@ -45,7 +103,9 @@ def least_fixed_point(
     tolerance:
         Absolute convergence tolerance.
     max_iterations:
-        Safety cap on the number of iterations.
+        Safety cap on the number of iterations.  Exhausting it (as opposed to
+        diverging past the bound) emits a :class:`FixedPointNoConvergence`
+        warning before ``None`` is returned.
 
     Returns
     -------
@@ -53,25 +113,17 @@ def least_fixed_point(
         The least fixed point (up to ``tolerance``), or ``None`` if the
         iteration diverged past ``divergence_bound`` or failed to converge.
     """
-    if math.isinf(start) or math.isnan(start):
-        return None
-    current = float(start)
-    if current > divergence_bound:
-        return None
-    for _ in range(max_iterations):
-        nxt = float(recurrence(current))
-        if math.isnan(nxt):
-            return None
-        if nxt < current - tolerance:
-            # A monotone recurrence should never decrease; clamp defensively
-            # so that rounding noise cannot cause oscillation.
-            nxt = current
-        if nxt > divergence_bound:
-            return None
-        if abs(nxt - current) <= tolerance:
-            return nxt
-        current = nxt
-    return None
+    value, status = least_fixed_point_status(
+        recurrence, start, divergence_bound, tolerance, max_iterations
+    )
+    if status == NO_CONVERGENCE:
+        warnings.warn(
+            f"fixed-point iteration hit the cap of {max_iterations} iterations "
+            f"without converging (bound {divergence_bound}); treating as unbounded",
+            FixedPointNoConvergence,
+            stacklevel=2,
+        )
+    return value
 
 
 def ceil_div_jobs(interval: float, period: float, response_time: float) -> int:
@@ -84,4 +136,4 @@ def ceil_div_jobs(interval: float, period: float, response_time: float) -> int:
     if period <= 0:
         raise ValueError("period must be positive")
     interval = max(interval, 0.0)
-    return max(0, int(math.ceil((interval + response_time) / period - 1e-12)))
+    return max(0, int(math.ceil((interval + response_time) / period - ETA_GUARD)))

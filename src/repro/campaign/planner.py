@@ -31,7 +31,10 @@ from ..utils.rng import ensure_rng, spawn_seeds
 
 #: Version of the store layout / manifest schema.  Bumped on incompatible
 #: changes so that old stores are rejected instead of silently misread.
-FORMAT_VERSION = 1
+#: Version 2: the DPCP-p analyses switched to the vectorized kernel engine
+#: (PR 2); bounds can differ from the straight-line implementation at float
+#: rounding level, so results must not be mixed with version-1 stores.
+FORMAT_VERSION = 2
 
 #: The single registry of the paper's protocol suite (Sec. VII-B): report
 #: name → factory taking the EP path-signature cap.  Everything else —

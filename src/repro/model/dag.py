@@ -116,6 +116,22 @@ class DAG:
         """Direct predecessors of vertex ``v``."""
         return list(self._pred[v])
 
+    def successor_lists(self) -> List[List[int]]:
+        """The internal successor adjacency (one list per vertex).
+
+        Returned without copying for traversal-heavy callers; treat as
+        read-only.
+        """
+        return self._succ
+
+    def predecessor_lists(self) -> List[List[int]]:
+        """The internal predecessor adjacency (one list per vertex).
+
+        Returned without copying for traversal-heavy callers; treat as
+        read-only.
+        """
+        return self._pred
+
     def has_edge(self, src: int, dst: int) -> bool:
         """Whether the edge ``src -> dst`` exists."""
         return (src, dst) in self._edges

@@ -124,6 +124,7 @@ class DAGTask:
             self._usages[usage.resource_id] = usage
         self._reconcile_usages()
         self._validate_wcets()
+        self._critical_path_cache: Optional[Tuple[int, float]] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -196,8 +197,17 @@ class DAGTask:
 
     @property
     def critical_path_length(self) -> float:
-        """:math:`L^*_i` — length of the longest path of the DAG."""
-        return self.dag.longest_path_length([v.wcet for v in self.vertices])
+        """:math:`L^*_i` — length of the longest path of the DAG.
+
+        Cached per edge count: the analyses query this repeatedly, and the
+        only supported DAG mutation (``add_edge``) changes the edge count.
+        """
+        cached = self._critical_path_cache
+        if cached is not None and cached[0] == self.dag.num_edges:
+            return cached[1]
+        value = self.dag.longest_path_length([v.wcet for v in self.vertices])
+        self._critical_path_cache = (self.dag.num_edges, value)
+        return value
 
     @property
     def non_critical_wcet(self) -> float:

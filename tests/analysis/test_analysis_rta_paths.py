@@ -2,14 +2,28 @@
 
 from __future__ import annotations
 
+import gc
 import math
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.paths import PathEnumerator, critical_path_only
-from repro.analysis.rta import ceil_div_jobs, least_fixed_point
+from repro.analysis.paths import (
+    ALGORITHM_DP,
+    ALGORITHM_WALK,
+    PathEnumerator,
+    critical_path_only,
+)
+from repro.analysis.rta import (
+    CONVERGED,
+    DIVERGED,
+    NO_CONVERGENCE,
+    FixedPointNoConvergence,
+    ceil_div_jobs,
+    least_fixed_point,
+    least_fixed_point_status,
+)
 from repro.model.dag import DAG
 from repro.model.resources import ResourceUsage
 from repro.model.task import DAGTask, Vertex
@@ -45,6 +59,26 @@ def test_fixed_point_start_beyond_bound_returns_none():
 def test_fixed_point_rejects_nan_and_inf():
     assert least_fixed_point(lambda x: float("nan"), 1.0, 10.0) is None
     assert least_fixed_point(lambda x: x, float("inf"), 10.0) is None
+
+
+def test_fixed_point_status_distinguishes_outcomes():
+    value, status = least_fixed_point_status(lambda x: 5.0, 5.0, 100.0)
+    assert status == CONVERGED and value == pytest.approx(5.0)
+    # Diverged: the iterate crosses the bound.
+    value, status = least_fixed_point_status(lambda x: x + 1.0, 0.0, 50.0)
+    assert (value, status) == (None, DIVERGED)
+    # Diverged: the start already exceeds the bound, or the recurrence is NaN.
+    assert least_fixed_point_status(lambda x: x, 10.0, 5.0)[1] == DIVERGED
+    assert least_fixed_point_status(lambda x: float("nan"), 1.0, 10.0)[1] == DIVERGED
+    # No convergence: creeps upward by more than the tolerance per step but
+    # cannot reach the bound within the iteration cap.
+    value, status = least_fixed_point_status(lambda x: x + 3e-6, 0.0, 1.0)
+    assert (value, status) == (None, NO_CONVERGENCE)
+
+
+def test_fixed_point_warns_on_no_convergence():
+    with pytest.warns(FixedPointNoConvergence):
+        assert least_fixed_point(lambda x: x + 3e-6, 0.0, 1.0) is None
 
 
 @given(
@@ -182,3 +216,151 @@ def test_enumerated_profiles_match_task_quantities(small_taskset):
             assert profile.length <= lstar + 1e-6
             for rid, count in profile.requests.items():
                 assert count <= task.request_count(rid)
+
+
+# --------------------------------------------------------------------------- #
+# Signature-DP vs reference walk
+# --------------------------------------------------------------------------- #
+def build_layered_task(layers=6, width=2, distinct_weights=True):
+    """A layered DAG with width**layers paths (distinct lengths if requested)."""
+    n = width * layers
+    edges = []
+    for layer in range(layers - 1):
+        for a in range(width):
+            for b in range(width):
+                edges.append((layer * width + a, (layer + 1) * width + b))
+    dag = DAG(n, edges)
+    vertices = [
+        Vertex(i, 1.0 + (0.01 * i if distinct_weights else 0.0)) for i in range(n)
+    ]
+    return DAGTask(0, vertices, dag, period=10_000.0)
+
+
+def test_dp_matches_walk_signatures(small_taskset):
+    """The DP produces exactly the walk's signature set on generated tasks."""
+    dp = PathEnumerator(algorithm=ALGORITHM_DP)
+    walk = PathEnumerator(algorithm=ALGORITHM_WALK)
+    for task in small_taskset:
+        a, b = dp.enumerate(task), walk.enumerate(task)
+        assert a.exhaustive == b.exhaustive
+        assert a.total_paths_seen == b.total_paths_seen
+        sig_a = sorted(p.signature() for p in a.profiles)
+        sig_b = sorted(p.signature() for p in b.profiles)
+        assert sig_a == sig_b
+
+
+def test_dp_matches_walk_on_exponential_dag():
+    task = build_layered_task(layers=8, width=2)  # 256 paths, 256 signatures
+    dp = PathEnumerator(algorithm=ALGORITHM_DP).enumerate(task)
+    walk = PathEnumerator(algorithm=ALGORITHM_WALK).enumerate(task)
+    assert dp.exhaustive and walk.exhaustive
+    assert dp.total_paths_seen == walk.total_paths_seen == 256
+    assert sorted(p.signature() for p in dp.profiles) == sorted(
+        p.signature() for p in walk.profiles
+    )
+
+
+def test_dp_scales_past_walk_path_cap():
+    """The DP stays exhaustive where the walk would drown in raw paths.
+
+    2**20 raw paths exceed any reasonable walk budget, but all paths share
+    one signature per layer choice pattern — the DP visits each vertex once.
+    """
+    task = build_layered_task(layers=20, width=2, distinct_weights=False)
+    dp = PathEnumerator(algorithm=ALGORITHM_DP, max_paths=2_000_000).enumerate(task)
+    assert dp.exhaustive
+    assert dp.total_paths_seen == 2**20
+    assert len(dp.profiles) == 1  # all paths are analysis-equivalent
+
+
+def test_walk_signature_cap_respected():
+    """The walk keeps at most max_signatures profiles (off-by-one fixed)."""
+    task = build_layered_task(layers=4, width=2)  # 16 paths, distinct lengths
+    result = PathEnumerator(algorithm=ALGORITHM_WALK, max_signatures=4).enumerate(task)
+    assert not result.exhaustive
+    assert len(result.profiles) == 4
+
+
+def test_dp_dedups_at_signature_rounding_granularity():
+    """Lengths differing below 1e-9 are one signature for DP and walk alike.
+
+    Regression: keying the DP's per-vertex sets on exact float lengths let
+    sub-tolerance length differences inflate them past the cap, flagging a
+    task non-exhaustive (→ pessimistic EN fallback) where the walk stayed
+    exhaustive with a single rounded signature.
+    """
+    diamonds = 8
+    n = 3 * diamonds + 1
+    edges = []
+    for d in range(diamonds):
+        base = 3 * d
+        edges += [(base, base + 1), (base, base + 2), (base + 1, base + 3), (base + 2, base + 3)]
+    dag = DAG(n, edges)
+    vertices = []
+    for i in range(n):
+        branch = i % 3 == 2 and i < n - 1  # second branch of each diamond
+        vertices.append(Vertex(i, 0.3 + (1e-11 if branch else 0.0)))
+    task = DAGTask(0, vertices, dag, period=10_000.0)  # 2**8 = 256 raw paths
+    dp = PathEnumerator(algorithm=ALGORITHM_DP, max_signatures=8).enumerate(task)
+    walk = PathEnumerator(algorithm=ALGORITHM_WALK, max_signatures=8).enumerate(task)
+    assert walk.exhaustive and len(walk.profiles) == 1
+    assert dp.exhaustive and len(dp.profiles) == 1
+    assert dp.profiles[0].signature() == walk.profiles[0].signature()
+
+
+def test_dp_signature_cap_falls_back_non_exhaustive():
+    # 128 paths with distinct lengths: above the walk shortcut, so the
+    # signature DP runs and trips its per-vertex cap.
+    task = build_layered_task(layers=7, width=2)
+    result = PathEnumerator(max_signatures=4, max_paths=40_000).enumerate(task)
+    assert not result.exhaustive
+    assert result.profiles[0].length == pytest.approx(task.critical_path_length)
+
+
+def test_enumerator_rejects_bad_algorithm():
+    with pytest.raises(ValueError):
+        PathEnumerator(algorithm="bogus")
+
+
+# --------------------------------------------------------------------------- #
+# Cache lifetime (weak keys instead of recyclable id() keys)
+# --------------------------------------------------------------------------- #
+def test_cache_entries_die_with_their_task():
+    enumerator = PathEnumerator()
+    task = build_task_with_paths()
+    first = enumerator.enumerate(task)
+    assert enumerator.enumerate(task) is first
+    del task
+    gc.collect()
+    assert len(enumerator._cache) == 0
+    # A new task object (potentially reusing the old id()) gets a fresh walk.
+    other = build_task_with_paths()
+    assert enumerator.enumerate(other) is not first
+
+
+def test_cache_invalidated_by_dag_mutation():
+    """add_edge (the supported DAG mutation) must not serve stale profiles."""
+    enumerator = PathEnumerator()
+    task = build_task_with_paths()  # diamond: 0→{1,2}→3
+    first = enumerator.enumerate(task)
+    assert len(first.profiles) == 2
+    task.dag.add_edge(1, 2)  # new path 0→1→2→3 joins the two originals
+    second = enumerator.enumerate(task)
+    assert second is not first
+    assert second.total_paths_seen == 3
+    assert max(p.length for p in second.profiles) == pytest.approx(
+        task.critical_path_length
+    )
+
+
+def test_enumerator_pickles_without_cache():
+    """Campaign workers receive protocols (and enumerators) via pickle."""
+    import pickle
+
+    enumerator = PathEnumerator(max_signatures=7, max_paths=99, algorithm=ALGORITHM_WALK)
+    task = build_task_with_paths()
+    enumerator.enumerate(task)
+    clone = pickle.loads(pickle.dumps(enumerator))
+    assert (clone.max_signatures, clone.max_paths, clone.algorithm) == (7, 99, ALGORITHM_WALK)
+    assert len(clone._cache) == 0
+    assert clone.enumerate(task).exhaustive

@@ -1,0 +1,240 @@
+"""Kernel-vs-reference equivalence for the DPCP-p analyses.
+
+The vectorized kernel (`engine="kernel"`, the default) must reproduce the
+straight-line reference oracle (`engine="reference"`) bound-for-bound: the
+property tests below generate random task sets and partitions across seeds
+and require agreement within 1e-9 (and identical schedulable verdicts).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dpcp_p import (
+    DpcpPEnTest,
+    DpcpPEpTest,
+    DpcpPTest,
+    ENGINE_KERNEL,
+    ENGINE_REFERENCE,
+    analyze_taskset,
+    path_wcrt,
+    task_wcrt_en,
+    task_wcrt_ep,
+)
+from repro.analysis.dpcp_p.context import DpcpPContext
+from repro.analysis.dpcp_p.kernel import BATCH_CUTOFF, DpcpPKernel, KernelStaticCache
+from repro.analysis.dpcp_p.partition import wfd_assign_resources
+from repro.analysis.paths import PathEnumerator
+from repro.generation import (
+    DagGenerationConfig,
+    ResourceGenerationConfig,
+    TaskSetGenerationConfig,
+    generate_taskset,
+)
+from repro.model import Platform
+from repro.model.platform import PartitionedSystem, minimal_federated_clusters
+
+TOLERANCE = 1e-9
+
+SMALL_CONFIG = TaskSetGenerationConfig(
+    average_utilization=1.5,
+    dag=DagGenerationConfig(num_vertices_range=(6, 18), edge_probability=0.15),
+    resources=ResourceGenerationConfig(
+        num_resources_range=(3, 6),
+        access_probability=0.6,
+        request_count_range=(1, 10),
+        cs_length_range=(15.0, 50.0),
+    ),
+)
+
+#: Wide, sparse DAGs whose signature counts exceed the kernel's batch cutoff,
+#: so the batched NumPy fixed-point path is exercised (not just the scalar one).
+WIDE_CONFIG = TaskSetGenerationConfig(
+    average_utilization=1.5,
+    dag=DagGenerationConfig(num_vertices_range=(35, 55), edge_probability=0.08),
+    resources=ResourceGenerationConfig(
+        num_resources_range=(4, 7),
+        access_probability=0.5,
+        request_count_range=(1, 12),
+        cs_length_range=(15.0, 50.0),
+    ),
+)
+
+
+def build_partition(config, seed, utilization=5.5, processors=16):
+    """Generate a task set and a feasible partition, or None."""
+    taskset = generate_taskset(utilization, config, rng=seed)
+    platform = Platform(processors)
+    clusters = minimal_federated_clusters(taskset, platform)
+    if clusters is None:
+        return None
+    outcome = wfd_assign_resources(taskset, clusters)
+    if not outcome.feasible:
+        return None
+    return taskset, PartitionedSystem(taskset, platform, clusters, outcome.assignment)
+
+
+def assert_bounds_agree(taskset, partition, mode):
+    kernel = analyze_taskset(
+        taskset, partition, mode=mode, divergence_factor=2.0, engine=ENGINE_KERNEL
+    )
+    reference = analyze_taskset(
+        taskset, partition, mode=mode, divergence_factor=2.0, engine=ENGINE_REFERENCE
+    )
+    assert kernel.keys() == reference.keys()
+    for tid in kernel:
+        a, b = kernel[tid].wcrt, reference[tid].wcrt
+        assert kernel[tid].schedulable == reference[tid].schedulable
+        if math.isinf(a) or math.isinf(b):
+            assert math.isinf(a) == math.isinf(b), f"task {tid}: {a} vs {b}"
+        else:
+            assert math.isclose(a, b, rel_tol=TOLERANCE, abs_tol=TOLERANCE), (
+                f"task {tid} ({mode}): kernel={a!r} reference={b!r}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: random task sets across seeds (satellite: hypothesis)
+# --------------------------------------------------------------------------- #
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_property_kernel_matches_reference_ep(seed):
+    built = build_partition(SMALL_CONFIG, seed)
+    if built is None:
+        return
+    taskset, partition = built
+    assert_bounds_agree(taskset, partition, "EP")
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_property_kernel_matches_reference_en(seed):
+    built = build_partition(SMALL_CONFIG, seed)
+    if built is None:
+        return
+    taskset, partition = built
+    assert_bounds_agree(taskset, partition, "EN")
+
+
+# --------------------------------------------------------------------------- #
+# Fixed-seed grid (deterministic acceptance surface)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", [1, 7, 42, 123, 2020, 31337])
+@pytest.mark.parametrize("mode", ["EP", "EN"])
+def test_fixed_seed_grid_agreement(seed, mode):
+    built = build_partition(SMALL_CONFIG, seed)
+    if built is None:
+        pytest.skip("seed does not produce a feasible partition")
+    taskset, partition = built
+    assert_bounds_agree(taskset, partition, mode)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_wide_dag_batched_path_agreement(seed):
+    """Signature counts above BATCH_CUTOFF route through the NumPy solver."""
+    built = build_partition(WIDE_CONFIG, seed, utilization=6.0)
+    if built is None:
+        pytest.skip("seed does not produce a feasible partition")
+    taskset, partition = built
+    enumerator = PathEnumerator()
+    assert any(
+        len(enumerator.enumerate(task).profiles) >= BATCH_CUTOFF for task in taskset
+    ), "workload too narrow to exercise the batched path"
+    assert_bounds_agree(taskset, partition, "EP")
+
+
+# --------------------------------------------------------------------------- #
+# Per-function and protocol-level equivalence
+# --------------------------------------------------------------------------- #
+def test_per_path_and_en_bounds_agree_per_function():
+    built = build_partition(SMALL_CONFIG, 42)
+    assert built is not None
+    taskset, partition = built
+    ctx_k = DpcpPContext(taskset, partition)
+    ctx_r = DpcpPContext(taskset, partition)
+    enumerator = PathEnumerator()
+    for task in taskset:
+        bound = task.deadline * 2
+        for profile in enumerator.enumerate(task).profiles[:5]:
+            a = path_wcrt(ctx_k, task, profile, bound, engine=ENGINE_KERNEL)
+            b = path_wcrt(ctx_r, task, profile, bound, engine=ENGINE_REFERENCE)
+            assert math.isinf(a) == math.isinf(b)
+            if not math.isinf(a):
+                assert math.isclose(a, b, rel_tol=TOLERANCE, abs_tol=TOLERANCE)
+        for fn in (
+            lambda c, e: task_wcrt_ep(c, task, enumerator, bound, engine=e),
+            lambda c, e: task_wcrt_en(c, task, bound, engine=e),
+        ):
+            a = fn(ctx_k, ENGINE_KERNEL)
+            b = fn(ctx_r, ENGINE_REFERENCE)
+            assert math.isinf(a) == math.isinf(b)
+            if not math.isinf(a):
+                assert math.isclose(a, b, rel_tol=TOLERANCE, abs_tol=TOLERANCE)
+
+
+@pytest.mark.parametrize("factory", [DpcpPEpTest, DpcpPEnTest])
+def test_protocol_verdicts_agree(factory):
+    platform = Platform(16)
+    for seed in (1, 5, 9):
+        taskset = generate_taskset(5.0, SMALL_CONFIG, rng=seed)
+        kernel_result = factory(engine=ENGINE_KERNEL).test(taskset, platform)
+        reference_result = factory(engine=ENGINE_REFERENCE).test(taskset, platform)
+        assert kernel_result.schedulable == reference_result.schedulable
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        DpcpPTest(engine="bogus")
+    built = build_partition(SMALL_CONFIG, 1)
+    assert built is not None
+    taskset, partition = built
+    with pytest.raises(ValueError):
+        analyze_taskset(taskset, partition, engine="bogus")
+
+
+# --------------------------------------------------------------------------- #
+# Static cache reuse across partition retries
+# --------------------------------------------------------------------------- #
+def test_static_cache_shared_across_kernels():
+    built = build_partition(SMALL_CONFIG, 42)
+    assert built is not None
+    taskset, partition = built
+    cache = KernelStaticCache()
+    k1 = DpcpPKernel(taskset, partition, cache)
+    for task in taskset:
+        k1.task_wcrt_en(task)
+    lanes_after_first = dict(cache.lanes)
+    k2 = DpcpPKernel(taskset, partition, cache)
+    results_fresh = {
+        t.task_id: DpcpPKernel(taskset, partition).task_wcrt_en(t) for t in taskset
+    }
+    for task in taskset:
+        assert k2.task_wcrt_en(task) == results_fresh[task.task_id]
+        # The second kernel reused (not rebuilt) the task-static slices.
+        assert cache.lanes[task.task_id] is lanes_after_first[task.task_id]
+
+
+def test_kernel_respects_carried_response_times():
+    """η_j must pick up response-time bounds set between per-task analyses."""
+    built = build_partition(SMALL_CONFIG, 42)
+    assert built is not None
+    taskset, partition = built
+    tasks = taskset.by_priority(descending=True)
+    ctx_k = DpcpPContext(taskset, partition)
+    ctx_r = DpcpPContext(taskset, partition)
+    # Pretend the highest-priority task has a tiny response time: the kernel
+    # and reference must both see the change through the shared context dict.
+    first = tasks[0]
+    ctx_k.response_times[first.task_id] = 1.0
+    ctx_r.response_times[first.task_id] = 1.0
+    low = tasks[-1]
+    bound = low.deadline * 2
+    a = task_wcrt_en(ctx_k, low, bound, engine=ENGINE_KERNEL)
+    b = task_wcrt_en(ctx_r, low, bound, engine=ENGINE_REFERENCE)
+    assert math.isinf(a) == math.isinf(b)
+    if not math.isinf(a):
+        assert math.isclose(a, b, rel_tol=TOLERANCE, abs_tol=TOLERANCE)
