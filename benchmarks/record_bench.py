@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Record component benchmark timings and the speedup versus the seed.
+"""Record component benchmark timings and the speedups versus prior recordings.
 
 Runs :mod:`benchmarks.bench_components` (simulation excluded — it needs a
 schedulable reference workload and dominates the runtime) on the fixed
@@ -9,16 +9,21 @@ timings, and writes a JSON report next to the repository root:
 * ``seed_us`` — the pre-optimization baseline medians.  Taken from
   ``--baseline-json`` (a raw pytest-benchmark export measured on the seed
   implementation) when given; otherwise carried over from the ``seed_us``
-  section of an existing output file, so re-runs keep comparing against the
-  original seed numbers.
+  section of an existing report (``--seed-from``, falling back to the
+  previous PR's recording), so re-runs keep comparing against the original
+  seed numbers.
+* ``prev_us`` — the previous PR's recorded medians (the ``current_us``
+  section of ``--prev-from``, default ``BENCH_PR2.json``), so each PR's
+  report shows what *that* PR changed.
 * ``current_us`` — medians of this run.
-* ``speedup_vs_seed`` — ``seed / current`` per component (only where a seed
-  measurement exists; new benchmark variants such as the ``-reference``
-  oracle engines have no seed counterpart).
+* ``speedup_vs_seed`` / ``speedup_vs_prev`` — ``baseline / current`` per
+  component (only where a baseline measurement exists; benchmark variants
+  without a counterpart — e.g. a newly added ``-reference`` oracle id — are
+  compared against the same component's baseline via the alias table).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record_bench.py [--out BENCH_PR2.json]
+    PYTHONPATH=src python benchmarks/record_bench.py [--out BENCH_PR3.json]
 """
 
 from __future__ import annotations
@@ -34,10 +39,33 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_components.py")
 
-#: Parametrized benchmark ids whose seed counterpart was unparametrized.
-SEED_NAME_ALIASES = {
+#: Benchmark ids whose baseline counterpart may go by another name: the seed
+#: had an unparametrized path-enumeration bench, and the ``-reference``
+#: oracle ids map to the component they are the oracle of (their baseline is
+#: the pre-kernel implementation of the same analysis).  An exact-name match
+#: in the baseline always wins; the alias is the fallback only.
+BASELINE_NAME_ALIASES = {
     "test_bench_path_enumeration[dp]": "test_bench_path_enumeration",
+    "test_bench_schedulability_test[DPCP-p-EP-reference]": (
+        "test_bench_schedulability_test[DPCP-p-EP]"
+    ),
+    "test_bench_schedulability_test[DPCP-p-EN-reference]": (
+        "test_bench_schedulability_test[DPCP-p-EN]"
+    ),
+    "test_bench_schedulability_test[SPIN-reference]": (
+        "test_bench_schedulability_test[SPIN]"
+    ),
+    "test_bench_schedulability_test[LPP-reference]": (
+        "test_bench_schedulability_test[LPP]"
+    ),
 }
+
+
+def baseline_name(name: str, baseline: dict) -> str:
+    """The baseline key ``name`` compares against (exact match first)."""
+    if name in baseline:
+        return name
+    return BASELINE_NAME_ALIASES.get(name, name)
 
 
 def run_benchmarks(selector: str) -> dict:
@@ -75,7 +103,7 @@ def run_benchmarks(selector: str) -> dict:
 
 
 def load_seed_baseline(args: argparse.Namespace) -> dict:
-    """Seed medians from --baseline-json, or the previous output file."""
+    """Seed medians from --baseline-json, or an existing report's seed_us."""
     if args.baseline_json:
         with open(args.baseline_json) as fh:
             data = json.load(fh)
@@ -83,23 +111,50 @@ def load_seed_baseline(args: argparse.Namespace) -> dict:
             bench["name"]: round(bench["stats"]["median"] * 1e6, 3)
             for bench in data["benchmarks"]
         }
-    if os.path.exists(args.seed_from):
-        with open(args.seed_from) as fh:
-            return json.load(fh).get("seed_us", {})
+    for path in (args.seed_from, args.prev_from):
+        if path and os.path.exists(path):
+            with open(path) as fh:
+                seed = json.load(fh).get("seed_us", {})
+            if seed:
+                return seed
     return {}
+
+
+def load_prev_recording(args: argparse.Namespace) -> dict:
+    """The previous PR's ``current_us`` medians (empty when unavailable)."""
+    if args.prev_from and os.path.exists(args.prev_from):
+        with open(args.prev_from) as fh:
+            return json.load(fh).get("current_us", {})
+    return {}
+
+
+def speedups(current: dict, baseline: dict) -> dict:
+    """Per-component ``baseline / current`` ratios (exact name, then alias)."""
+    ratios = {}
+    for name, value in sorted(current.items()):
+        base_name = baseline_name(name, baseline)
+        if base_name in baseline and value > 0:
+            ratios[name] = round(baseline[base_name] / value, 2)
+    return ratios
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=os.path.join(REPO_ROOT, "BENCH_PR2.json"),
-        help="output report path (default: BENCH_PR2.json at the repo root)",
+        default=os.path.join(REPO_ROOT, "BENCH_PR3.json"),
+        help="output report path (default: BENCH_PR3.json at the repo root)",
     )
     parser.add_argument(
         "--seed-from",
+        default=os.path.join(REPO_ROOT, "BENCH_PR3.json"),
+        help="existing report whose seed_us section is carried over "
+        "(falls back to --prev-from when missing)",
+    )
+    parser.add_argument(
+        "--prev-from",
         default=os.path.join(REPO_ROOT, "BENCH_PR2.json"),
-        help="existing report whose seed_us section is carried over",
+        help="previous PR's report; its current_us becomes this report's prev_us",
     )
     parser.add_argument(
         "--baseline-json",
@@ -114,15 +169,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     seed = load_seed_baseline(args)
+    prev = load_prev_recording(args)
     current = run_benchmarks(args.selector)
-    speedup = {}
-    for name, value in sorted(current.items()):
-        seed_name = SEED_NAME_ALIASES.get(name, name)
-        if seed_name in seed and value > 0:
-            speedup[name] = round(seed[seed_name] / value, 2)
 
     report = {
-        "format": 1,
+        "format": 2,
         "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
         ),
@@ -131,21 +182,33 @@ def main(argv=None) -> int:
             "rng=1) on Platform(16); medians in microseconds"
         ),
         "seed_us": seed,
+        "prev_us": prev,
         "current_us": current,
-        "speedup_vs_seed": speedup,
+        "speedup_vs_seed": speedups(current, seed),
+        "speedup_vs_prev": speedups(current, prev),
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")
 
     width = max(len(n) for n in current) if current else 0
-    print(f"\n{'component':<{width}}  {'current':>10}  {'seed':>10}  speedup")
+    print(
+        f"\n{'component':<{width}}  {'current':>10}  {'prev':>10}  "
+        f"{'seed':>10}  vs prev  vs seed"
+    )
     for name, value in sorted(current.items()):
-        seed_name = SEED_NAME_ALIASES.get(name, name)
-        base = seed.get(seed_name)
-        base_txt = f"{base:>10.1f}" if base else f"{'-':>10}"
-        ratio = f"{speedup[name]:.2f}x" if name in speedup else "-"
-        print(f"{name:<{width}}  {value:>10.1f}  {base_txt}  {ratio}")
+        prev_base = prev.get(baseline_name(name, prev))
+        seed_base = seed.get(baseline_name(name, seed))
+        prev_txt = f"{prev_base:>10.1f}" if prev_base else f"{'-':>10}"
+        seed_txt = f"{seed_base:>10.1f}" if seed_base else f"{'-':>10}"
+        vs_prev = report["speedup_vs_prev"].get(name)
+        vs_seed = report["speedup_vs_seed"].get(name)
+        prev_ratio = f"{vs_prev:.2f}x" if vs_prev else "-"
+        seed_ratio = f"{vs_seed:.2f}x" if vs_seed else "-"
+        print(
+            f"{name:<{width}}  {value:>10.1f}  {prev_txt}  {seed_txt}  "
+            f"{prev_ratio:>7}  {seed_ratio:>7}"
+        )
     print(f"\nwrote {args.out}")
     return 0
 

@@ -8,6 +8,7 @@ from .dpcp_p import (
     ENGINE_KERNEL,
     ENGINE_REFERENCE,
 )
+from .engine import CompiledTaskset, compile_taskset
 from .fedfp import FedFpTest, federated_wcrt
 from .interfaces import (
     SchedulabilityResult,
@@ -15,7 +16,7 @@ from .interfaces import (
     TaskAnalysis,
     UNBOUNDED,
 )
-from .lpp import LppTest
+from .lpp import LppKernel, LppTest
 from .paths import PathEnumerator, PathEnumerationResult, critical_path_only
 from .rta import (
     FixedPointNoConvergence,
@@ -23,7 +24,7 @@ from .rta import (
     least_fixed_point,
     least_fixed_point_status,
 )
-from .spin import SpinTest
+from .spin import SpinKernel, SpinTest
 
 def default_protocols():
     """Instantiate the protocol suite compared in the paper (Sec. VII-B).
@@ -39,12 +40,16 @@ def default_protocols():
 
 
 __all__ = [
+    "CompiledTaskset",
+    "compile_taskset",
     "DpcpPEnTest",
     "DpcpPEpTest",
     "DpcpPKernel",
     "DpcpPTest",
     "ENGINE_KERNEL",
     "ENGINE_REFERENCE",
+    "LppKernel",
+    "SpinKernel",
     "FedFpTest",
     "federated_wcrt",
     "SchedulabilityResult",

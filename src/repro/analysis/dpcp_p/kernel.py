@@ -15,8 +15,16 @@ recurrences reuse:
 * ``beta[i, k]`` — Lemma 2's longest lower-priority blocking critical
   section, which depends only on the requesting task's priority and the
   hosting processor.
-* per-task :math:`\\eta` parameters (periods and carried-in response-time
-  bounds), so :math:`\\eta_j(L)` evaluates for all tasks at once.
+
+The task-static data (request vectors, per-vertex non-critical WCETs,
+critical path lengths, η parameters) and the fixed-point solvers are **not**
+DPCP-p specific: they live in the protocol-agnostic
+:mod:`repro.analysis.engine` layer (:class:`~repro.analysis.engine.tables.CompiledTaskset`
+/ :func:`~repro.analysis.engine.solver.solve_batched` /
+:func:`~repro.analysis.engine.solver.solve_scalar`), shared with the SPIN and
+LPP baseline kernels and across every protocol analysing the same task set.
+This module adds only the partition-dependent coefficients (per-task
+:class:`_TaskLane` slices) and the DPCP-p lemma structure on top.
 
 Two execution strategies share the coefficients:
 
@@ -30,10 +38,6 @@ Two execution strategies share the coefficients:
   NumPy dispatch overhead would dominate: the EN analysis and tasks with few
   path signatures.
 
-Task-static data (request vectors, per-vertex non-critical WCETs, critical
-path lengths, …) can be shared across the kernels built for successive
-partition attempts of Algorithm 1 through a :class:`KernelStaticCache`.
-
 Per-profile bounds match the reference implementation up to floating-point
 summation order (observed well below 1e-12 relative on randomized systems).
 The kernel assumes (like the reference analysis) that profiles passed to it
@@ -44,22 +48,23 @@ resources the task uses.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ...model.dag import PathProfile
 from ...model.platform import PartitionedSystem
 from ...model.task import DAGTask, TaskSet
-from ..paths import PathEnumerationResult
-from ..rta import (
-    DEFAULT_MAX_ITERATIONS,
-    DEFAULT_TOLERANCE,
+from ..engine.solver import (
     ETA_GUARD,
-    FixedPointNoConvergence,
+    NO_CONVERGENCE,
+    solve_batched,
+    solve_scalar,
+    warn_no_convergence,
 )
+from ..engine.tables import CompiledTask, CompiledTaskset, compile_taskset
+from ..paths import PathEnumerationResult
 
 #: Profile batches at least this large use the batched NumPy fixed-point
 #: solver; smaller batches use the scalar path over the same coefficients.
@@ -69,75 +74,36 @@ _ceil = math.ceil
 _inf = math.inf
 
 
-def _warn_no_convergence(count: int, bound: float) -> None:
-    warnings.warn(
-        f"{count} fixed-point iteration(s) hit the cap of "
-        f"{DEFAULT_MAX_ITERATIONS} iterations without converging "
-        f"(bound {bound}); treating as unbounded",
-        FixedPointNoConvergence,
-        stacklevel=3,
-    )
-
-
-@dataclass
-class _TaskStatic:
-    """Partition-independent per-task data (shareable across retries)."""
-
-    ugr: List[int]                      # global resources the task uses (sorted)
-    g_N: List[float]                    # request counts N_{i,q}
-    g_L: List[float]                    # critical-section lengths L_{i,q}
-    lres: List[int]                     # local resources the task uses
-    l_N: List[float]
-    l_L: List[float]
-    en_local_block: float               # EN-style local intra-task blocking
-    crit_len: float                     # L*_i
-    wcet: float                         # C_i
-    noncrit: List[float]                # per-vertex C'_{i,x}
-    total_noncrit: float
-    g_N_arr: np.ndarray = field(repr=False, default=None)
-    g_L_arr: np.ndarray = field(repr=False, default=None)
-    l_N_arr: np.ndarray = field(repr=False, default=None)
-    l_L_arr: np.ndarray = field(repr=False, default=None)
-    noncrit_arr: np.ndarray = field(repr=False, default=None)
-
-
-@dataclass
-class _TasksetStatic:
-    """Partition-independent task-set level data."""
-
-    tasks: List[DAGTask]
-    index: Dict[int, int]
-    periods: np.ndarray
-    deadlines: np.ndarray
-    prios: np.ndarray
-    periods_list: List[float]
-    prios_list: List[int]
-    local_resources: List[int]
-    usages: List[Dict[int, Tuple[float, float]]]  # per task: rid -> (N, L)
-    ceilings: Dict[int, int] = field(default_factory=dict)
-
-
 class KernelStaticCache:
-    """Holds task-static kernel data across partition retries.
+    """Holds the shared task-static tables across partition retries.
 
     Algorithm 1 re-partitions and re-analyses the same task set until it
     converges; the per-vertex and per-resource task data never changes in
     that loop, so :func:`~repro.analysis.dpcp_p.partition.partition_and_analyze`
     threads one cache instance through every kernel it builds.
+
+    Since PR 3 the static data itself is the protocol-agnostic
+    :class:`~repro.analysis.engine.tables.CompiledTaskset` (also shared with
+    the SPIN/LPP kernels and across protocols of a campaign work unit); this
+    class remains as the explicit retry-sharing handle of the DPCP-p API.
     """
 
     def __init__(self) -> None:
         self.owner: Optional[TaskSet] = None
-        self.taskset: Optional[_TasksetStatic] = None
-        self.lanes: Dict[int, _TaskStatic] = {}
+        self.tables: Optional[CompiledTaskset] = None
+
+    @property
+    def lanes(self) -> Dict[int, CompiledTask]:
+        """Task-static tables compiled so far (task id → tables)."""
+        return self.tables.task_tables if self.tables is not None else {}
 
 
 @dataclass
 class _TaskLane:
-    """Per-task kernel slice: static data plus partition-dependent coefficients."""
+    """Per-task kernel slice: static tables plus partition-dependent coefficients."""
 
     index: int
-    static: _TaskStatic
+    static: CompiledTask
     m_i: float
     cluster_proc_list: List[int]
     w_cluster_list: List[float]    # per-task request workload on this cluster
@@ -185,35 +151,23 @@ class DpcpPKernel:
                 "use one cache per task set"
             )
         self._static.owner = taskset
-        if self._static.taskset is None:
-            tasks = list(taskset)
-            self._static.taskset = _TasksetStatic(
-                tasks=tasks,
-                index={t.task_id: i for i, t in enumerate(tasks)},
-                periods=np.array([t.period for t in tasks]),
-                deadlines=np.array([t.deadline for t in tasks]),
-                prios=np.array([t.priority for t in tasks]),
-                periods_list=[t.period for t in tasks],
-                prios_list=[t.priority for t in tasks],
-                local_resources=taskset.local_resources(),
-                usages=[
-                    {
-                        rid: (float(u.max_requests), u.cs_length)
-                        for rid, u in t.resource_usages.items()
-                    }
-                    for t in tasks
-                ],
-            )
-        ts_static = self._static.taskset
-        self._tasks = ts_static.tasks
-        self._index = ts_static.index
-        self._periods = ts_static.periods
-        self._periods_list = ts_static.periods_list
-        self._prios = ts_static.prios
-        self._prios_list = ts_static.prios_list
-        self._usages = ts_static.usages
-        self._carried = ts_static.deadlines.copy()
-        self._carried_list = self._carried.tolist()
+        if self._static.tables is None:
+            self._static.tables = compile_taskset(taskset)
+        tables = self._static.tables
+        self.tables = tables
+        self._tasks = tables.tasks
+        self._index = tables.index
+        self._periods = tables.periods
+        self._periods_list = tables.periods_list
+        self._prios = tables.prios
+        self._prios_list = tables.prios_list
+        self._usages = tables.usages
+        # The carried-in η bounds live in the shared tables (synced in place,
+        # so these references stay valid); reset them to the deadlines so a
+        # freshly built kernel behaves like one built from scratch.
+        tables.sync_response_times({})
+        self._carried = tables.carried
+        self._carried_list = tables.carried_list
 
         n = len(self._tasks)
         m = partition.platform.num_processors
@@ -223,12 +177,8 @@ class DpcpPKernel:
         W = [[0.0] * m for _ in range(n)]
         beta = [[0.0] * m for _ in range(n)]
         prios = self._prios_list
-        ceilings = ts_static.ceilings
         for rid, proc in partition.resource_assignment.items():
-            ceiling = ceilings.get(rid)
-            if ceiling is None:
-                ceiling = taskset.resource_ceiling(rid)
-                ceilings[rid] = ceiling
+            ceiling = tables.resource_ceiling(rid)
             for j in range(n):
                 pair = self._usages[j].get(rid)
                 if pair is None or pair[0] == 0.0:
@@ -245,7 +195,7 @@ class DpcpPKernel:
         self._active_proc_list = sorted(
             {proc for proc in partition.resource_assignment.values()}
         )
-        self._local_resources = ts_static.local_resources
+        self._local_resources = tables.local_resources
         self._lanes: Dict[int, _TaskLane] = {}
         # NumPy coefficient views, materialized lazily by the batched path.
         self._W_np: Optional[np.ndarray] = None
@@ -255,126 +205,18 @@ class DpcpPKernel:
     # ------------------------------------------------------------------ #
     # Carried-in response times (the only mutable analysis state)
     # ------------------------------------------------------------------ #
-    def sync_response_times(self, response_times: Mapping[int, float]) -> None:
+    def sync_response_times(self, response_times) -> None:
         """Refresh the carried-in :math:`R_j` bounds used inside η_j."""
-        carried = self._carried
-        carried_list = self._carried_list
-        for j, task in enumerate(self._tasks):
-            value = response_times.get(task.task_id, task.deadline)
-            carried[j] = value
-            carried_list[j] = value
-
-    # ------------------------------------------------------------------ #
-    # Vectorized primitives
-    # ------------------------------------------------------------------ #
-    def _eta(self, intervals: np.ndarray) -> np.ndarray:
-        """η_j(L) for every task (rows) over every interval (columns)."""
-        x = np.maximum(intervals, 0.0)[None, :] + self._carried[:, None]
-        x /= self._periods[:, None]
-        x -= ETA_GUARD
-        np.ceil(x, out=x)
-        return np.maximum(x, 0.0, out=x)
-
-    def _solve(
-        self,
-        start: np.ndarray,
-        step: Callable[[np.ndarray, np.ndarray], np.ndarray],
-        bound: float,
-    ) -> np.ndarray:
-        """Solve a batch of independent monotone fixed points elementwise.
-
-        ``step(values, indices)`` must return the recurrence applied to the
-        still-active entries (``indices`` into the original batch).  Entries
-        that diverge past ``bound`` (or start beyond it, or produce NaN)
-        resolve to ``inf`` — the reference analyses' reading of a ``None``
-        fixed point.  Entries still active after the iteration cap resolve to
-        ``inf`` as well, with a :class:`FixedPointNoConvergence` warning.
-        """
-        start = np.asarray(start, dtype=float)
-        out = np.full(start.shape, _inf)
-        active = np.isfinite(start) & (start <= bound)
-        idx = np.flatnonzero(active)
-        if idx.size == 0:
-            return out
-        cur = start[idx].astype(float)
-        for _ in range(DEFAULT_MAX_ITERATIONS):
-            nxt = np.asarray(step(cur, idx), dtype=float)
-            if np.isnan(nxt).any():
-                nxt = np.where(np.isnan(nxt), _inf, nxt)
-            # A monotone recurrence should never decrease; clamp defensively
-            # so that rounding noise cannot cause oscillation.
-            low = nxt < cur - DEFAULT_TOLERANCE
-            if low.any():
-                nxt = np.where(low, cur, nxt)
-            diverged = nxt > bound
-            converged = ~diverged & (np.abs(nxt - cur) <= DEFAULT_TOLERANCE)
-            done = diverged | converged
-            if done.any():
-                out[idx[converged]] = nxt[converged]
-                keep = ~done
-                idx = idx[keep]
-                cur = nxt[keep]
-                if idx.size == 0:
-                    return out
-            else:
-                cur = nxt
-        _warn_no_convergence(idx.size, bound)
-        return out
+        self.tables.sync_response_times(response_times)
 
     # ------------------------------------------------------------------ #
     # Per-task lanes
     # ------------------------------------------------------------------ #
-    def _task_static(self, task: DAGTask) -> _TaskStatic:
-        static = self._static.lanes.get(task.task_id)
-        if static is not None:
-            return static
-        taskset = self.taskset
-        usage = self._usages[self._index[task.task_id]]
-        used = sorted(rid for rid, (count, _cs) in usage.items() if count > 0)
-        ugr = [r for r in used if taskset.is_global(r)]
-        g_N = [usage[r][0] for r in ugr]
-        g_L = [usage[r][1] for r in ugr]
-        lres = [r for r in used if not taskset.is_global(r)]
-        l_N = [usage[r][0] for r in lres]
-        l_L = [usage[r][1] for r in lres]
-        noncrit = [
-            max(
-                0.0,
-                v.wcet
-                - sum(c * usage[r][1] for r, c in v.requests.items() if c > 0),
-            )
-            for v in task.vertices
-        ]
-        static = _TaskStatic(
-            ugr=ugr,
-            g_N=g_N,
-            g_L=g_L,
-            lres=lres,
-            l_N=l_N,
-            l_L=l_L,
-            en_local_block=sum((c - 1.0) * cs for c, cs in zip(l_N, l_L)),
-            crit_len=task.critical_path_length,
-            wcet=task.wcet,
-            noncrit=noncrit,
-            total_noncrit=float(sum(noncrit)),
-        )
-        self._static.lanes[task.task_id] = static
-        return static
-
-    @staticmethod
-    def _ensure_static_arrays(static: _TaskStatic) -> None:
-        if static.g_N_arr is None:
-            static.g_N_arr = np.array(static.g_N)
-            static.g_L_arr = np.array(static.g_L)
-            static.l_N_arr = np.array(static.l_N)
-            static.l_L_arr = np.array(static.l_L)
-            static.noncrit_arr = np.array(static.noncrit)
-
     def _lane(self, task: DAGTask) -> _TaskLane:
         lane = self._lanes.get(task.task_id)
         if lane is not None:
             return lane
-        static = self._task_static(task)
+        static = self.tables.table(task)
         i = self._index[task.task_id]
         n = len(self._tasks)
         W = self._W_list
@@ -440,14 +282,13 @@ class DpcpPKernel:
             lane.cluster_procs = np.array(lane.cluster_proc_list, dtype=np.intp)
             lane.g_proc = np.array(lane.g_proc_list, dtype=np.intp)
             lane.beta_arr = np.array(lane.beta_list)
-        self._ensure_static_arrays(lane.static)
+        lane.static.ensure_arrays()
 
     # ------------------------------------------------------------------ #
     # Scalar path (small batches: EN, and tasks with few path signatures)
     # ------------------------------------------------------------------ #
-    # The inline loops below mirror rta.least_fixed_point exactly (start at
-    # the constant, defensive non-decrease clamp, divergence bound, absolute
-    # tolerance); NaN checks are dropped because every coefficient is finite.
+    # Fixed points are delegated to engine.solver.solve_scalar; the closures
+    # below only evaluate the recurrences over the sparse coefficient columns.
 
     def _window_scalar(
         self, lane: _TaskLane, const: float, proc: int, bound: float
@@ -462,32 +303,27 @@ class DpcpPKernel:
             return 0.0 if const <= bound else _inf
         carried = self._carried_list
         periods = self._periods_list
-        tol = DEFAULT_TOLERANCE
-        if const > bound:
-            return _inf
-        cur = const
-        for _ in range(DEFAULT_MAX_ITERATIONS):
+
+        def recurrence(cur: float) -> float:
             gamma = 0.0
             for j, w in col:
                 e = _ceil((cur + carried[j]) / periods[j] - ETA_GUARD)
                 if e > 0:
                     gamma += e * w
-            nxt = const + gamma
-            if nxt < cur - tol:
-                nxt = cur
-            if nxt > bound:
-                return _inf
-            if -tol <= nxt - cur <= tol:
-                # γ evaluated at the converged window (what Lemma 3 multiplies).
-                total = 0.0
-                for j, w in col:
-                    e = _ceil((nxt + carried[j]) / periods[j] - ETA_GUARD)
-                    if e > 0:
-                        total += e * w
-                return total
-            cur = nxt
-        _warn_no_convergence(1, bound)
-        return _inf
+            return const + gamma
+
+        solved, status = solve_scalar(recurrence, const, bound)
+        if solved is None:
+            if status == NO_CONVERGENCE:
+                warn_no_convergence(1, bound)
+            return _inf
+        # γ evaluated at the converged window (what Lemma 3 multiplies).
+        total = 0.0
+        for j, w in col:
+            e = _ceil((solved + carried[j]) / periods[j] - ETA_GUARD)
+            if e > 0:
+                total += e * w
+        return total
 
     def _theorem1_scalar(
         self,
@@ -502,9 +338,7 @@ class DpcpPKernel:
         """Theorem 1's fixed point for one profile via the coefficient tables."""
         m_i = lane.m_i
         fixed = length + intra_block + (intra_interf + own_off_cluster) / m_i
-        cur = length + intra_block + intra_interf / m_i
-        if cur > bound:
-            return _inf
+        start = length + intra_block + intra_interf / m_i
         # min(0, ζ) = 0: only processors with a positive ε can contribute.
         eps_cols = [
             (value, lane.other_cols[k]) for k, value in eps.items() if value > 0.0
@@ -512,8 +346,8 @@ class DpcpPKernel:
         wcl = lane.wcl_col
         carried = self._carried_list
         periods = self._periods_list
-        tol = DEFAULT_TOLERANCE
-        for _ in range(DEFAULT_MAX_ITERATIONS):
+
+        def recurrence(cur: float) -> float:
             etas: Dict[int, int] = {}
             blocking = 0.0
             for value, col in eps_cols:
@@ -535,16 +369,14 @@ class DpcpPKernel:
                     if e < 0:
                         e = 0
                 agents += e * w
-            nxt = fixed + blocking + agents / m_i
-            if nxt < cur - tol:
-                nxt = cur
-            if nxt > bound:
-                return _inf
-            if -tol <= nxt - cur <= tol:
-                return nxt
-            cur = nxt
-        _warn_no_convergence(1, bound)
-        return _inf
+            return fixed + blocking + agents / m_i
+
+        solved, status = solve_scalar(recurrence, start, bound)
+        if solved is None:
+            if status == NO_CONVERGENCE:
+                warn_no_convergence(1, bound)
+            return _inf
+        return solved
 
     def _profile_wcrt_scalar(
         self, lane: _TaskLane, profile: PathProfile, bound: float
@@ -637,6 +469,10 @@ class DpcpPKernel:
     # ------------------------------------------------------------------ #
     # Batched NumPy path (large profile batches)
     # ------------------------------------------------------------------ #
+    def _eta(self, intervals: np.ndarray) -> np.ndarray:
+        """η_j(L) for every task (rows) over every interval (columns)."""
+        return self.tables.eta_matrix(intervals)
+
     def _request_windows(
         self,
         lane: _TaskLane,
@@ -667,7 +503,7 @@ class DpcpPKernel:
             cols = w_hp if idx.size == full else w_hp[:, idx]
             return const[idx] + (eta * cols).sum(axis=0)
 
-        solved = self._solve(const, step, bound)
+        solved = solve_batched(const, step, bound)
         finite = np.isfinite(solved)
         if finite.any():
             eta = self._eta(solved[finite])
@@ -724,7 +560,7 @@ class DpcpPKernel:
             agents = oth.T @ lane.w_cluster  # (K,)
             return fixed[idx] + blocking + agents / m_i
 
-        return self._solve(start, step, bound)
+        return solve_batched(start, step, bound)
 
     def _profile_bounds_batched(
         self, lane: _TaskLane, profiles: List[PathProfile], bound: float

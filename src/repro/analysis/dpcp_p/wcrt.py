@@ -30,6 +30,12 @@ from typing import Dict, Mapping, Optional
 from ...model.dag import PathProfile
 from ...model.task import DAGTask, TaskSet
 from ...model.platform import PartitionedSystem
+from ..engine.solver import (
+    DEFAULT_ENGINE,
+    ENGINE_KERNEL,
+    ENGINE_REFERENCE,
+    check_engine as _check_engine,
+)
 from ..interfaces import TaskAnalysis
 from ..paths import PathEnumerator
 from ..rta import least_fixed_point
@@ -44,16 +50,6 @@ from .interference import (
 #: Analysis modes.
 MODE_EP = "EP"
 MODE_EN = "EN"
-
-#: Analysis engines.
-ENGINE_KERNEL = "kernel"
-ENGINE_REFERENCE = "reference"
-DEFAULT_ENGINE = ENGINE_KERNEL
-
-
-def _check_engine(engine: str) -> None:
-    if engine not in (ENGINE_KERNEL, ENGINE_REFERENCE):
-        raise ValueError(f"unknown analysis engine {engine!r}")
 
 
 def _theorem1_fixed_point(

@@ -1,0 +1,246 @@
+"""Compiled, protocol-agnostic coefficient tables for one task set.
+
+Every WCRT analysis in this library keeps re-reading the same task-static
+data on each fixed-point iteration: per-``(task, resource)`` request counts
+:math:`N_{j,q}` and critical-section lengths :math:`L_{j,q}`, the η
+parameters (periods and carried-in response-time bounds), priorities, and
+the global/local resource classification.  :class:`CompiledTaskset` compiles
+all of it **once per task set** into plain lists, NumPy arrays, and sparse
+``(task, weight)`` columns, and is shared
+
+* across all protocols analysing the same task set (a campaign work unit
+  runs DPCP-p-EP/EN, SPIN, and LPP over one generated task set — they all
+  read the same tables through :func:`compile_taskset`),
+* across the partition retries of Algorithm 1 and the federated top-up loop
+  (only cluster sizes change there, never the task-static data), and
+* across the protocol-specific *lanes* built on top (the DPCP-p kernel's
+  partition-dependent coefficients, the SPIN/LPP per-task columns), which
+  cache themselves in :attr:`CompiledTaskset.protocol_cache`.
+
+The only mutable entry is the carried-in response-time vector used inside
+η_j, refreshed via :meth:`CompiledTaskset.sync_response_times` before each
+per-task solve (analyses run sequentially, so sharing it is safe).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ...model.resources import ResourceError
+from ...model.task import DAGTask, TaskSet
+
+
+@dataclass
+class CompiledTask:
+    """Per-task static tables (independent of partitions and protocols)."""
+
+    used: List[int]                     # resources the task uses (sorted)
+    N: List[float]                      # request counts N_{i,q} over ``used``
+    L: List[float]                      # critical-section lengths L_{i,q}
+    ugr: List[int]                      # global resources the task uses (sorted)
+    g_N: List[float]
+    g_L: List[float]
+    lres: List[int]                     # local resources the task uses
+    l_N: List[float]
+    l_L: List[float]
+    en_local_block: float               # EN-style local intra-task blocking
+    crit_len: float                     # L*_i
+    wcet: float                         # C_i
+    noncrit: List[float]                # per-vertex C'_{i,x}
+    total_noncrit: float
+    g_N_arr: Optional[np.ndarray] = field(repr=False, default=None)
+    g_L_arr: Optional[np.ndarray] = field(repr=False, default=None)
+    l_N_arr: Optional[np.ndarray] = field(repr=False, default=None)
+    l_L_arr: Optional[np.ndarray] = field(repr=False, default=None)
+    noncrit_arr: Optional[np.ndarray] = field(repr=False, default=None)
+
+    def ensure_arrays(self) -> None:
+        """Materialize the NumPy views (batched solver paths only)."""
+        if self.g_N_arr is None:
+            self.g_N_arr = np.array(self.g_N)
+            self.g_L_arr = np.array(self.g_L)
+            self.l_N_arr = np.array(self.l_N)
+            self.l_L_arr = np.array(self.l_L)
+            self.noncrit_arr = np.array(self.noncrit)
+
+
+class CompiledTaskset:
+    """All task-static coefficient tables of one task set.
+
+    Build via :func:`compile_taskset` (which memoizes one instance per task
+    set) rather than directly, so every analysis of the same task set shares
+    the same tables.
+    """
+
+    def __init__(self, taskset: TaskSet) -> None:
+        # Deliberately no reference to the task set itself: instances are
+        # memoized in a WeakKeyDictionary keyed by it, and a strong
+        # back-reference would make every entry immortal.  Everything the
+        # tables need is copied out here (the DAGTask objects do not
+        # reference their TaskSet, so holding them is safe).
+        tasks = list(taskset)
+        self.tasks: List[DAGTask] = tasks
+        self.index: Dict[int, int] = {t.task_id: i for i, t in enumerate(tasks)}
+        self.periods = np.array([t.period for t in tasks])
+        self.deadlines = np.array([t.deadline for t in tasks])
+        self.prios = np.array([t.priority for t in tasks])
+        self.periods_list: List[float] = [t.period for t in tasks]
+        self.prios_list: List[int] = [t.priority for t in tasks]
+        self.local_resources: List[int] = taskset.local_resources()
+        self._global = frozenset(taskset.global_resources())
+        #: Per task: ``rid -> (N_{j,q}, L_{j,q})`` for every declared usage.
+        self.usages: List[Dict[int, Tuple[float, float]]] = [
+            {
+                rid: (float(u.max_requests), u.cs_length)
+                for rid, u in t.resource_usages.items()
+            }
+            for t in tasks
+        ]
+        self.ceilings: Dict[int, int] = {}
+        #: Carried-in response-time bounds R_j used inside η_j — the only
+        #: mutable analysis state; refresh via :meth:`sync_response_times`.
+        self.carried = self.deadlines.copy()
+        self.carried_list: List[float] = self.carried.tolist()
+        self._task_tables: Dict[int, CompiledTask] = {}
+        self._users: Dict[int, List[Tuple[int, float, float]]] = {}
+        #: Protocol-specific lane caches (e.g. ``"spin"`` / ``"lpp"`` /
+        #: ``"dpcp_p"``), so each protocol compiles its per-task columns once
+        #: per task set no matter how many tests run over it.
+        self.protocol_cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Carried-in response times
+    # ------------------------------------------------------------------ #
+    def sync_response_times(self, response_times: Mapping[int, float]) -> None:
+        """Refresh the carried-in :math:`R_j` bounds used inside η_j.
+
+        Tasks without a known bound carry their deadline (consistent
+        whenever the final verdict is "schedulable").
+        """
+        carried = self.carried
+        carried_list = self.carried_list
+        for j, task in enumerate(self.tasks):
+            value = response_times.get(task.task_id, task.deadline)
+            carried[j] = value
+            carried_list[j] = value
+
+    def eta_matrix(self, intervals: np.ndarray) -> np.ndarray:
+        """η_j(L) for every task (rows) over every interval (columns)."""
+        from .solver import ETA_GUARD
+
+        x = np.maximum(intervals, 0.0)[None, :] + self.carried[:, None]
+        x /= self.periods[:, None]
+        x -= ETA_GUARD
+        np.ceil(x, out=x)
+        return np.maximum(x, 0.0, out=x)
+
+    # ------------------------------------------------------------------ #
+    # Per-task tables
+    # ------------------------------------------------------------------ #
+    @property
+    def task_tables(self) -> Dict[int, CompiledTask]:
+        """Compiled per-task tables built so far (task id → tables)."""
+        return self._task_tables
+
+    def table(self, task: DAGTask) -> CompiledTask:
+        """The :class:`CompiledTask` tables of ``task`` (compiled lazily)."""
+        tables = self._task_tables.get(task.task_id)
+        if tables is not None:
+            return tables
+        is_global = self._global
+        usage = self.usages[self.index[task.task_id]]
+        used = sorted(rid for rid, (count, _cs) in usage.items() if count > 0)
+        ugr = [r for r in used if r in is_global]
+        lres = [r for r in used if r not in is_global]
+        l_N = [usage[r][0] for r in lres]
+        l_L = [usage[r][1] for r in lres]
+        noncrit = [
+            max(
+                0.0,
+                v.wcet
+                - sum(c * usage[r][1] for r, c in v.requests.items() if c > 0),
+            )
+            for v in task.vertices
+        ]
+        tables = CompiledTask(
+            used=used,
+            N=[usage[r][0] for r in used],
+            L=[usage[r][1] for r in used],
+            ugr=ugr,
+            g_N=[usage[r][0] for r in ugr],
+            g_L=[usage[r][1] for r in ugr],
+            lres=lres,
+            l_N=l_N,
+            l_L=l_L,
+            en_local_block=sum((c - 1.0) * cs for c, cs in zip(l_N, l_L)),
+            crit_len=task.critical_path_length,
+            wcet=task.wcet,
+            noncrit=noncrit,
+            total_noncrit=float(sum(noncrit)),
+        )
+        self._task_tables[task.task_id] = tables
+        return tables
+
+    # ------------------------------------------------------------------ #
+    # Sparse per-resource columns
+    # ------------------------------------------------------------------ #
+    def users(self, resource_id: int) -> List[Tuple[int, float, float]]:
+        """Sparse user column of a resource: ``[(task index, N, L), ...]``.
+
+        Covers every task with at least one request to ``resource_id``; the
+        protocol lanes slice it into their own ``(task, weight)`` columns
+        (other-task workload, higher-priority workload, ...).
+        """
+        col = self._users.get(resource_id)
+        if col is None:
+            col = []
+            for j, usage in enumerate(self.usages):
+                pair = usage.get(resource_id)
+                if pair is not None and pair[0] > 0:
+                    col.append((j, pair[0], pair[1]))
+            self._users[resource_id] = col
+        return col
+
+    def resource_ceiling(self, resource_id: int) -> int:
+        """Priority ceiling of a resource: max base priority of its users (cached).
+
+        Mirrors :meth:`repro.model.task.TaskSet.resource_ceiling`, computed
+        from the compiled user columns.
+        """
+        ceiling = self.ceilings.get(resource_id)
+        if ceiling is None:
+            col = self.users(resource_id)
+            if not col:
+                raise ResourceError(
+                    f"resource {resource_id} is not used by any task"
+                )
+            prios = self.prios_list
+            ceiling = max(prios[j] for j, _count, _cs in col)
+            self.ceilings[resource_id] = ceiling
+        return ceiling
+
+
+#: One compiled-tables instance per live task set; weak keys let the tables
+#: die with the task set (campaign workers generate thousands of them).
+_COMPILED: "weakref.WeakKeyDictionary[TaskSet, CompiledTaskset]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_taskset(taskset: TaskSet) -> CompiledTaskset:
+    """The shared :class:`CompiledTaskset` of ``taskset`` (compiled once).
+
+    All kernel-engine analyses call this, so a campaign work unit that runs
+    every protocol over one generated task set compiles the static tables a
+    single time; repeated tests of the same task set (benchmarks, top-up
+    retries) reuse them as well.
+    """
+    tables = _COMPILED.get(taskset)
+    if tables is None:
+        tables = CompiledTaskset(taskset)
+        _COMPILED[taskset] = tables
+    return tables

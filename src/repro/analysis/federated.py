@@ -6,6 +6,15 @@ To keep the comparison with DPCP-p fair, they use the same iterative policy
 as Algorithm 1: start from the minimal federated assignment and grant one
 additional processor to the first task whose WCRT bound exceeds its deadline,
 as long as spare processors remain.
+
+The top-up loop restarts *warm*: granting a processor changes only the
+failing task's cluster, and a task's WCRT bound depends only on its own
+cluster size and the response times of the previously analysed
+(higher-priority) tasks — so the already-computed prefix is carried over and
+the re-analysis resumes at the failing task instead of re-walking the whole
+task set on every grant.  ``wcrt_function`` implementations must respect
+this contract (both engines of SPIN and LPP do: neither reads another
+task's cluster size).
 """
 
 from __future__ import annotations
@@ -32,7 +41,9 @@ def federated_topup_analysis(
 
     Tasks are analysed in decreasing priority order; response times of
     not-yet-analysed tasks are taken as their deadlines (consistent whenever
-    the final verdict is "schedulable").
+    the final verdict is "schedulable").  Across top-up retries only the
+    grown cluster's task (and the tasks after it in priority order) are
+    re-analysed — see the module docstring for why that is sound.
     """
     clusters = minimal_federated_clusters(taskset, platform)
     if clusters is None:
@@ -42,12 +53,20 @@ def federated_topup_analysis(
             reason="not enough processors for the minimal federated assignment",
         )
 
+    order = taskset.by_priority(descending=True)
+    # Spare processors, ascending (the order PartitionedSystem's
+    # unassigned_processors() reports); maintained incrementally so the
+    # partition object is only materialized for the final verdict.
+    assigned = {p for cluster in clusters.values() for p in cluster.processors}
+    spares = [p for p in platform.processors if p not in assigned]
+    analyses: Dict[int, TaskAnalysis] = {}
+    response_times: Dict[int, float] = {}
+    resume = 0
     while True:
-        partition = PartitionedSystem(taskset, platform, clusters, {})
-        analyses: Dict[int, TaskAnalysis] = {}
-        response_times: Dict[int, float] = {}
         failing: Optional[int] = None
-        for task in taskset.by_priority(descending=True):
+        failing_index = resume
+        for index in range(resume, len(order)):
+            task = order[index]
             cluster_size = clusters[task.task_id].size
             wcrt = wcrt_function(taskset, task, cluster_size, response_times)
             analyses[task.task_id] = TaskAnalysis(
@@ -59,6 +78,7 @@ def federated_topup_analysis(
             response_times[task.task_id] = min(wcrt, task.deadline)
             if math.isinf(wcrt) or wcrt > task.deadline + 1e-9:
                 failing = task.task_id
+                failing_index = index
                 break
 
         if failing is None:
@@ -66,19 +86,24 @@ def federated_topup_analysis(
                 schedulable=True,
                 protocol=protocol_name,
                 task_analyses=analyses,
-                partition=partition,
+                partition=PartitionedSystem(taskset, platform, clusters, {}),
             )
 
-        unassigned = partition.unassigned_processors()
-        if not unassigned:
+        if not spares:
             return SchedulabilityResult(
                 schedulable=False,
                 protocol=protocol_name,
                 task_analyses=analyses,
-                partition=partition,
+                partition=PartitionedSystem(taskset, platform, clusters, {}),
                 reason=(
                     f"task {failing} misses its deadline and no spare processor "
                     "is available"
                 ),
             )
-        clusters[failing].processors.append(unassigned[0])
+        clusters[failing].processors.append(spares.pop(0))
+        # Warm restart: the higher-priority prefix is untouched by the grant,
+        # so resume at the failing task.  Its own (stale) response-time entry
+        # is dropped so wcrt_function sees exactly the prefix a cold rerun
+        # would present.
+        resume = failing_index
+        del response_times[failing]

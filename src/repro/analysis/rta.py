@@ -5,44 +5,44 @@ monotone recurrences ``x = f(x)``.  :func:`least_fixed_point` iterates such a
 recurrence from a starting value until convergence, giving up when the
 iterate exceeds a divergence bound (which the analyses interpret as
 "unschedulable / no bound").
+
+Since PR 3 the solver itself lives in
+:mod:`repro.analysis.engine.solver` — one implementation shared with the
+compiled protocol kernels — and this module keeps the historical scalar API
+(plus :func:`ceil_div_jobs`) on top of it.
 """
 
 from __future__ import annotations
 
 import math
-import warnings
 from typing import Callable, Optional, Tuple
 
-#: Default absolute convergence tolerance, in microseconds.
-DEFAULT_TOLERANCE = 1e-6
+from .engine.solver import (
+    CONVERGED,
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    DIVERGED,
+    ETA_GUARD,
+    NO_CONVERGENCE,
+    FixedPointDiverged,
+    FixedPointNoConvergence,
+    solve_scalar,
+    warn_no_convergence,
+)
 
-#: Default iteration cap; the recurrences used here converge in far fewer steps.
-DEFAULT_MAX_ITERATIONS = 10_000
-
-#: Guard subtracted inside the η ceiling so that exact multiples of the
-#: period are not rounded up by floating-point noise.  Shared by
-#: :func:`ceil_div_jobs` and the vectorized kernel's η evaluation.
-ETA_GUARD = 1e-12
-
-#: Status values returned by :func:`least_fixed_point_status`.
-CONVERGED = "converged"
-DIVERGED = "diverged"
-NO_CONVERGENCE = "no-convergence"
-
-
-class FixedPointDiverged(RuntimeError):
-    """Raised internally when a recurrence exceeds its divergence bound."""
-
-
-class FixedPointNoConvergence(RuntimeWarning):
-    """A fixed-point search hit its iteration cap without converging.
-
-    Unlike divergence past the bound (a definitive "no relevant fixed point"
-    answer), hitting the iteration cap means the search was inconclusive; the
-    analyses still treat the task as unbounded, but the situation is surfaced
-    as a warning so slowly-converging systems are not silently conflated with
-    genuinely diverging ones.
-    """
+__all__ = [
+    "CONVERGED",
+    "DIVERGED",
+    "NO_CONVERGENCE",
+    "DEFAULT_MAX_ITERATIONS",
+    "DEFAULT_TOLERANCE",
+    "ETA_GUARD",
+    "FixedPointDiverged",
+    "FixedPointNoConvergence",
+    "ceil_div_jobs",
+    "least_fixed_point",
+    "least_fixed_point_status",
+]
 
 
 def least_fixed_point_status(
@@ -60,25 +60,7 @@ def least_fixed_point_status(
     NaN), or :data:`NO_CONVERGENCE` (``max_iterations`` exhausted without
     meeting the tolerance).  ``value`` is ``None`` for both failure statuses.
     """
-    if math.isinf(start) or math.isnan(start):
-        return None, DIVERGED
-    current = float(start)
-    if current > divergence_bound:
-        return None, DIVERGED
-    for _ in range(max_iterations):
-        nxt = float(recurrence(current))
-        if math.isnan(nxt):
-            return None, DIVERGED
-        if nxt < current - tolerance:
-            # A monotone recurrence should never decrease; clamp defensively
-            # so that rounding noise cannot cause oscillation.
-            nxt = current
-        if nxt > divergence_bound:
-            return None, DIVERGED
-        if abs(nxt - current) <= tolerance:
-            return nxt, CONVERGED
-        current = nxt
-    return None, NO_CONVERGENCE
+    return solve_scalar(recurrence, start, divergence_bound, tolerance, max_iterations)
 
 
 def least_fixed_point(
@@ -113,15 +95,12 @@ def least_fixed_point(
         The least fixed point (up to ``tolerance``), or ``None`` if the
         iteration diverged past ``divergence_bound`` or failed to converge.
     """
-    value, status = least_fixed_point_status(
+    value, status = solve_scalar(
         recurrence, start, divergence_bound, tolerance, max_iterations
     )
     if status == NO_CONVERGENCE:
-        warnings.warn(
-            f"fixed-point iteration hit the cap of {max_iterations} iterations "
-            f"without converging (bound {divergence_bound}); treating as unbounded",
-            FixedPointNoConvergence,
-            stacklevel=2,
+        warn_no_convergence(
+            1, divergence_bound, stacklevel=3, max_iterations=max_iterations
         )
     return value
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.dpcp_p import DEFAULT_MAX_PATH_SIGNATURES
+from ..analysis.engine import compile_taskset
 from ..analysis.interfaces import SchedulabilityTest
 from ..generation.randfixedsum import GenerationError
 from ..generation.taskset_gen import generate_taskset
@@ -132,6 +133,10 @@ def execute_unit(
             result.generation_failures += 1
             continue
         result.evaluated += 1
+        # Warm the shared analysis tables: every kernel-engine protocol
+        # below reads the same (weak-keyed, dies-with-the-taskset)
+        # CompiledTaskset via compile_taskset's memo.
+        compile_taskset(taskset)
         for test in protocols:
             if test.test(taskset, platform).schedulable:
                 result.accepted[test.name] += 1

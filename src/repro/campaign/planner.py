@@ -34,7 +34,10 @@ from ..utils.rng import ensure_rng, spawn_seeds
 #: Version 2: the DPCP-p analyses switched to the vectorized kernel engine
 #: (PR 2); bounds can differ from the straight-line implementation at float
 #: rounding level, so results must not be mixed with version-1 stores.
-FORMAT_VERSION = 2
+#: Version 3: SPIN and LPP switched to the compiled engine kernels (PR 3) —
+#: the default baseline provenance changed (and SPIN dropped its dominated
+#: off-path solve), so results must not be mixed with version-2 stores.
+FORMAT_VERSION = 3
 
 #: The single registry of the paper's protocol suite (Sec. VII-B): report
 #: name → factory taking the EP path-signature cap.  Everything else —

@@ -125,6 +125,8 @@ class DAGTask:
         self._reconcile_usages()
         self._validate_wcets()
         self._critical_path_cache: Optional[Tuple[int, float]] = None
+        self._wcet_cache: Optional[float] = None
+        self._min_processors_cache: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -177,8 +179,15 @@ class DAGTask:
     # ------------------------------------------------------------------ #
     @property
     def wcet(self) -> float:
-        """:math:`C_i` — total WCET over all vertices."""
-        return sum(v.wcet for v in self.vertices)
+        """:math:`C_i` — total WCET over all vertices.
+
+        Cached: the vertex tuple is fixed at construction and the analyses
+        read this in every federated sizing pass (same policy as
+        :attr:`critical_path_length`).
+        """
+        if self._wcet_cache is None:
+            self._wcet_cache = sum(v.wcet for v in self.vertices)
+        return self._wcet_cache
 
     @property
     def utilization(self) -> float:
@@ -215,7 +224,15 @@ class DAGTask:
         return self.wcet - sum(u.total_cs_time for u in self._usages.values())
 
     def minimum_processors(self) -> int:
-        """Initial federated assignment :math:`\\lceil (C_i-L^*_i)/(D_i-L^*_i) \\rceil`."""
+        """Initial federated assignment :math:`\\lceil (C_i-L^*_i)/(D_i-L^*_i) \\rceil`.
+
+        Cached per edge count (every schedulability test starts its sizing
+        pass here; the only supported DAG mutation, ``add_edge``, changes
+        the edge count and thereby :math:`L^*_i`).
+        """
+        cached = self._min_processors_cache
+        if cached is not None and cached[0] == self.dag.num_edges:
+            return cached[1]
         lstar = self.critical_path_length
         if lstar >= self.deadline:
             raise TaskError(
@@ -223,7 +240,9 @@ class DAGTask:
             )
         import math
 
-        return max(1, math.ceil((self.wcet - lstar) / (self.deadline - lstar)))
+        value = max(1, math.ceil((self.wcet - lstar) / (self.deadline - lstar)))
+        self._min_processors_cache = (self.dag.num_edges, value)
+        return value
 
     # ------------------------------------------------------------------ #
     # Resource queries

@@ -1,0 +1,279 @@
+"""Kernel-vs-reference equivalence for the SPIN and LPP baseline analyses.
+
+The compiled engine kernels (`engine="kernel"`, the default since PR 3) must
+reproduce the straight-line reference oracles (`engine="reference"`)
+bound-for-bound: the property tests below generate random task sets across
+seeds and require agreement within 1e-9 (and identical schedulable
+verdicts), mirroring ``test_kernel_equivalence.py`` for DPCP-p.
+
+The warm-restart behaviour of the shared federated top-up loop is checked
+against a cold re-analysis oracle as well, since both engines run through
+the same (warm) loop and an error there would cancel out in the
+engine-vs-engine comparison.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.engine import ENGINE_KERNEL, ENGINE_REFERENCE, compile_taskset
+from repro.analysis.federated import federated_topup_analysis
+from repro.analysis.lpp import LppKernel, LppTest, lpp_wcrt
+from repro.analysis.spin import SpinKernel, SpinTest, spin_wcrt
+from repro.generation import (
+    DagGenerationConfig,
+    GenerationError,
+    ResourceGenerationConfig,
+    TaskSetGenerationConfig,
+    generate_taskset,
+)
+from repro.model import Platform
+from repro.model.platform import PartitionedSystem, minimal_federated_clusters
+
+TOLERANCE = 1e-9
+
+#: Same contended mid-size systems the DPCP-p equivalence tests use.
+SMALL_CONFIG = TaskSetGenerationConfig(
+    average_utilization=1.5,
+    dag=DagGenerationConfig(num_vertices_range=(6, 18), edge_probability=0.15),
+    resources=ResourceGenerationConfig(
+        num_resources_range=(3, 6),
+        access_probability=0.6,
+        request_count_range=(1, 10),
+        cs_length_range=(15.0, 50.0),
+    ),
+)
+
+#: Heavier contention so the top-up loop actually grants processors (warm
+#: restarts are exercised, not just the first pass).
+CONTENDED_CONFIG = TaskSetGenerationConfig(
+    average_utilization=1.5,
+    dag=DagGenerationConfig(num_vertices_range=(6, 16), edge_probability=0.2),
+    resources=ResourceGenerationConfig(
+        num_resources_range=(2, 4),
+        access_probability=0.8,
+        request_count_range=(2, 12),
+        cs_length_range=(25.0, 60.0),
+    ),
+)
+
+FACTORIES = {"SPIN": SpinTest, "LPP": LppTest}
+
+
+def try_generate(utilization, config, seed):
+    """A task set for ``seed``, or None when the draw is infeasible."""
+    try:
+        return generate_taskset(utilization, config, rng=seed)
+    except GenerationError:
+        return None
+
+
+def assert_results_agree(kernel_result, reference_result):
+    assert kernel_result.schedulable == reference_result.schedulable
+    assert kernel_result.task_analyses.keys() == reference_result.task_analyses.keys()
+    for tid, a in kernel_result.task_analyses.items():
+        b = reference_result.task_analyses[tid]
+        assert a.processors == b.processors
+        assert a.schedulable == b.schedulable
+        if math.isinf(a.wcrt) or math.isinf(b.wcrt):
+            assert math.isinf(a.wcrt) == math.isinf(b.wcrt), f"task {tid}: {a} vs {b}"
+        else:
+            assert math.isclose(a.wcrt, b.wcrt, rel_tol=TOLERANCE, abs_tol=TOLERANCE), (
+                f"task {tid}: kernel={a.wcrt!r} reference={b.wcrt!r}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: random task sets across seeds
+# --------------------------------------------------------------------------- #
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_property_spin_kernel_matches_reference(seed):
+    taskset = try_generate(5.0, SMALL_CONFIG, seed)
+    if taskset is None:
+        return
+    platform = Platform(16)
+    assert_results_agree(
+        SpinTest(engine=ENGINE_KERNEL).test(taskset, platform),
+        SpinTest(engine=ENGINE_REFERENCE).test(taskset, platform),
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_property_lpp_kernel_matches_reference(seed):
+    taskset = try_generate(5.0, SMALL_CONFIG, seed)
+    if taskset is None:
+        return
+    platform = Platform(16)
+    assert_results_agree(
+        LppTest(engine=ENGINE_KERNEL).test(taskset, platform),
+        LppTest(engine=ENGINE_REFERENCE).test(taskset, platform),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fixed-seed grid (deterministic acceptance surface)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", [1, 7, 42, 123, 2020, 31337])
+@pytest.mark.parametrize("protocol", ["SPIN", "LPP"])
+@pytest.mark.parametrize("config", [SMALL_CONFIG, CONTENDED_CONFIG])
+def test_fixed_seed_grid_agreement(seed, protocol, config):
+    taskset = try_generate(5.0, config, seed)
+    if taskset is None:
+        pytest.skip("seed does not produce a feasible task set")
+    factory = FACTORIES[protocol]
+    platform = Platform(16)
+    assert_results_agree(
+        factory(engine=ENGINE_KERNEL).test(taskset, platform),
+        factory(engine=ENGINE_REFERENCE).test(taskset, platform),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Per-function equivalence (wcrt bounds outside the top-up loop)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", [3, 42, 99])
+def test_per_task_wcrt_agreement(seed):
+    taskset = try_generate(5.0, SMALL_CONFIG, seed)
+    if taskset is None:
+        pytest.skip("seed does not produce a feasible task set")
+    spin_kernel = SpinKernel.of(taskset)
+    lpp_kernel = LppKernel.of(taskset)
+    # A half-analysed state: some tasks carry concrete response times.
+    tasks = taskset.by_priority(descending=True)
+    response_times = {t.task_id: 0.7 * t.deadline for t in tasks[: len(tasks) // 2]}
+    for task in tasks:
+        for size in (1, 2, 5):
+            for kernel_fn, reference_fn in (
+                (spin_kernel.wcrt, spin_wcrt),
+                (lpp_kernel.wcrt, lpp_wcrt),
+            ):
+                a = kernel_fn(taskset, task, size, response_times)
+                b = reference_fn(taskset, task, size, response_times)
+                assert math.isinf(a) == math.isinf(b)
+                if not math.isinf(a):
+                    assert math.isclose(a, b, rel_tol=TOLERANCE, abs_tol=TOLERANCE)
+
+
+def test_kernels_shared_via_compiled_tables():
+    """SpinKernel.of / LppKernel.of memoize on the shared CompiledTaskset."""
+    taskset = generate_taskset(5.0, SMALL_CONFIG, rng=42)
+    tables = compile_taskset(taskset)
+    assert compile_taskset(taskset) is tables
+    assert SpinKernel.of(taskset) is SpinKernel.of(taskset)
+    assert LppKernel.of(taskset) is LppKernel.of(taskset)
+    assert SpinKernel.of(taskset).tables is tables
+    assert LppKernel.of(taskset).tables is tables
+
+
+def test_compiled_tables_die_with_the_taskset():
+    """The weak-keyed memo must not keep task sets alive (campaign workers
+    compile one per generated sample)."""
+    import gc
+    import weakref
+
+    taskset = generate_taskset(5.0, SMALL_CONFIG, rng=7)
+    SpinKernel.of(taskset)  # populate tables + a protocol lane
+    ref = weakref.ref(taskset)
+    del taskset
+    gc.collect()
+    assert ref() is None
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        SpinTest(engine="bogus")
+    with pytest.raises(ValueError):
+        LppTest(engine="bogus")
+
+
+# --------------------------------------------------------------------------- #
+# Warm restart of the federated top-up loop vs a cold re-analysis oracle
+# --------------------------------------------------------------------------- #
+def _cold_topup_analysis(taskset, platform, wcrt_function, protocol_name):
+    """The pre-PR 3 top-up loop: re-analyse every task from scratch per grant."""
+    from repro.analysis.interfaces import SchedulabilityResult, TaskAnalysis
+
+    clusters = minimal_federated_clusters(taskset, platform)
+    if clusters is None:
+        return SchedulabilityResult(
+            schedulable=False, protocol=protocol_name, reason="no minimal assignment"
+        )
+    while True:
+        partition = PartitionedSystem(taskset, platform, clusters, {})
+        analyses, response_times, failing = {}, {}, None
+        for task in taskset.by_priority(descending=True):
+            cluster_size = clusters[task.task_id].size
+            wcrt = wcrt_function(taskset, task, cluster_size, response_times)
+            analyses[task.task_id] = TaskAnalysis(
+                task_id=task.task_id,
+                wcrt=wcrt,
+                deadline=task.deadline,
+                processors=cluster_size,
+            )
+            response_times[task.task_id] = min(wcrt, task.deadline)
+            if math.isinf(wcrt) or wcrt > task.deadline + 1e-9:
+                failing = task.task_id
+                break
+        if failing is None:
+            return SchedulabilityResult(
+                schedulable=True,
+                protocol=protocol_name,
+                task_analyses=analyses,
+                partition=partition,
+            )
+        unassigned = partition.unassigned_processors()
+        if not unassigned:
+            return SchedulabilityResult(
+                schedulable=False,
+                protocol=protocol_name,
+                task_analyses=analyses,
+                partition=partition,
+                reason="out of processors",
+            )
+        clusters[failing].processors.append(unassigned[0])
+
+
+@pytest.mark.parametrize("seed", [0, 5, 11, 17, 23, 31])
+@pytest.mark.parametrize(
+    "wcrt_function", [spin_wcrt, lpp_wcrt], ids=["spin", "lpp"]
+)
+def test_warm_restart_matches_cold_reanalysis(seed, wcrt_function):
+    taskset = try_generate(6.0, CONTENDED_CONFIG, seed)
+    if taskset is None:
+        pytest.skip("seed does not produce a feasible task set")
+    platform = Platform(16)
+    warm = federated_topup_analysis(taskset, platform, wcrt_function, "X")
+    cold = _cold_topup_analysis(taskset, platform, wcrt_function, "X")
+    assert warm.schedulable == cold.schedulable
+    assert warm.task_analyses.keys() == cold.task_analyses.keys()
+    for tid, a in warm.task_analyses.items():
+        b = cold.task_analyses[tid]
+        assert a.processors == b.processors
+        assert (a.wcrt == b.wcrt) or (math.isinf(a.wcrt) and math.isinf(b.wcrt))
+
+
+@pytest.mark.parametrize("protocol", ["SPIN", "LPP"])
+def test_topup_actually_grants_processors(protocol):
+    """The warm-restart tests above are vacuous unless some seed tops up."""
+    platform = Platform(16)
+    factory = FACTORIES[protocol]
+    for seed in range(40):
+        taskset = try_generate(6.0, CONTENDED_CONFIG, seed)
+        if taskset is None:
+            continue
+        result = factory().test(taskset, platform)
+        minimal = {
+            t.task_id: t.minimum_processors() for t in taskset
+        }
+        if any(
+            analysis.processors > minimal[tid]
+            for tid, analysis in result.task_analyses.items()
+        ):
+            return
+    pytest.fail("no seed exercised the top-up path; tighten CONTENDED_CONFIG")
