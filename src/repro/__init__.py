@@ -10,6 +10,10 @@ The package is organised as follows:
 * :mod:`repro.sim` — discrete-event simulator of the DPCP-p runtime protocol.
 * :mod:`repro.experiments` — the schedulability experiment harness that
   regenerates the paper's Fig. 2 and Tables 2–3.
+* :mod:`repro.campaign` — parallel, resumable scenario-grid campaigns with
+  an on-disk checkpoint store and CLI (``python -m repro.campaign``).
+* :mod:`repro.report` — store aggregation (cached, incremental) and the
+  zero-dependency figure/table renderers (``REPORT.md``, ``report.html``).
 """
 
 from .analysis import (

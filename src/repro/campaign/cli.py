@@ -5,13 +5,19 @@
     python -m repro.campaign run    --store DIR [selection/config options]
     python -m repro.campaign resume --store DIR [--workers N]
     python -m repro.campaign status --store DIR
+    python -m repro.campaign report --store DIR [--out DIR]
     python -m repro.campaign export --store DIR [--out DIR]
 
 ``run`` plans a campaign, writes the manifest, and executes it; re-running
 against an existing store with the same configuration simply resumes it,
 while a mismatched configuration is refused.  ``resume`` needs no
 configuration flags at all — everything is recovered from the manifest.
-See EXPERIMENTS.md for a walk-through.
+``report`` renders the full deliverable bundle (``REPORT.md``,
+``report.html``, per-scenario CSVs) from the store through the cached
+reporting aggregator — zero analysis re-runs.  Exit codes are
+watch-friendly: 0 = complete report, 3 = incomplete campaign (partial
+report written; poll/resume and re-run), 2 = error.  See EXPERIMENTS.md
+for a walk-through.
 """
 
 from __future__ import annotations
@@ -50,6 +56,13 @@ def _parse_vertices(text: str) -> Tuple[int, int]:
 
 def _parse_protocols(text: str) -> List[str]:
     names = [name.strip() for name in text.split(",") if name.strip()]
+    if not names:
+        # An empty list would select nothing and render degenerate
+        # (header-only) deliverables with a success exit code.
+        raise argparse.ArgumentTypeError(
+            f"expected at least one protocol, got {text!r}; "
+            f"known: {', '.join(KNOWN_PROTOCOLS)}"
+        )
     for name in names:
         if name not in KNOWN_PROTOCOLS:
             raise argparse.ArgumentTypeError(
@@ -161,6 +174,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     status = commands.add_parser("status", help="progress report of a store")
     add_store(status)
+
+    report = commands.add_parser(
+        "report",
+        help="render the full report bundle (Markdown, HTML, CSVs) from a store",
+    )
+    add_store(report)
+    report.add_argument(
+        "--out", default=None, help="output directory (default: <store>/report)"
+    )
+    report.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail instead of reporting only the complete scenarios",
+    )
+    report.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk aggregation cache",
+    )
+    report.add_argument(
+        "--protocols",
+        type=_parse_protocols,
+        default=None,
+        metavar="A,B,...",
+        help="restrict/order the reported protocols (default: the campaign's)",
+    )
 
     export = commands.add_parser(
         "export", help="render CSV series and tables from a store"
@@ -332,6 +371,59 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from ..report.aggregate import aggregate_store
+    from ..report.bundle import write_report_bundle
+
+    aggregate = aggregate_store(args.store, use_cache=not args.no_cache)
+    if args.protocols:
+        # Validate against the campaign up front: otherwise a protocol the
+        # campaign never ran would pass silently while no scenario is
+        # complete and flip to an error mid-campaign — useless for a watch
+        # loop polling on the 0/3 exit codes.
+        unknown = [p for p in args.protocols if p not in aggregate.protocols]
+        if unknown:
+            raise ValueError(
+                f"protocol(s) {', '.join(unknown)} were not part of this "
+                f"campaign (campaign protocols: "
+                f"{', '.join(aggregate.protocols)})"
+            )
+    stats = aggregate.cache_stats
+    if stats.hit:
+        cache_line = (
+            f"aggregation cache: hit ({stats.units_from_cache} units cached, "
+            f"{stats.units_folded} folded from the store)"
+        )
+    else:
+        cache_line = (
+            f"aggregation cache: miss [{stats.miss_reason}] "
+            f"({stats.units_folded} units folded from the store)"
+        )
+    print(cache_line)
+    incomplete = aggregate.incomplete_reports()
+    if incomplete and args.strict:
+        raise ValueError(
+            f"campaign incomplete ({aggregate.completed_units}/"
+            f"{aggregate.total_units} units, {len(incomplete)} scenario(s) "
+            "unfinished); resume it or drop --strict"
+        )
+    out_dir = args.out or os.path.join(args.store, "report")
+    bundle = write_report_bundle(aggregate, out_dir, protocols=args.protocols)
+    print(
+        f"report: {len(bundle.series_csvs)} scenario series + REPORT.md + "
+        f"report.html in {out_dir}"
+    )
+    if incomplete:
+        print(
+            f"campaign incomplete — {len(incomplete)} scenario(s) omitted; "
+            f"continue with: python -m repro.campaign resume --store {args.store}"
+        )
+        return 3
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     import os
 
@@ -378,6 +470,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "resume": _cmd_resume,
         "status": _cmd_status,
+        "report": _cmd_report,
         "export": _cmd_export,
     }
     try:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import os
 from datetime import datetime, timezone
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, Iterator, Set, Tuple
 
 from .planner import FORMAT_VERSION, config_hash
 
@@ -131,10 +131,61 @@ class CampaignStore:
         record = dict(record)
         record.setdefault("completed_at", _utcnow_iso())
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        with open(self.results_path, "a") as handle:
-            handle.write(line + "\n")
+        with open(self.results_path, "a+b") as handle:
+            # Heal a torn trailing line left by a killed writer: without the
+            # newline the new record would merge into the partial line and
+            # every reader would silently skip both.
+            handle.seek(0, os.SEEK_END)
+            if handle.tell():
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8") + b"\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    def results_size(self) -> int:
+        """Current byte size of the results file (0 when it does not exist)."""
+        try:
+            return os.path.getsize(self.results_path)
+        except OSError:
+            return 0
+
+    def iter_records(self, start_offset: int = 0) -> Iterator[Tuple[dict, int]]:
+        """Stream completed-unit records from byte offset ``start_offset``.
+
+        Yields ``(record, end_offset)`` pairs where ``end_offset`` is the byte
+        position just past the record's line — the resume point for the next
+        incremental read (the store is append-only, so everything before a
+        yielded offset is immutable).  Only *complete* lines (terminated by a
+        newline) are consumed: a torn trailing line from a killed writer is
+        neither yielded nor skipped past, so a re-read from the same offset
+        sees whatever the line became — :meth:`append` newline-terminates a
+        torn tail before writing, turning it into a malformed complete line.
+        Malformed complete lines are skipped (matching :meth:`load_records`),
+        and duplicate ``unit_id`` filtering is left to the caller, who knows
+        which units it already folded.
+        """
+        if not os.path.isfile(self.results_path):
+            return
+        with open(self.results_path, "rb") as handle:
+            handle.seek(start_offset)
+            offset = start_offset
+            for raw_line in handle:
+                if not raw_line.endswith(b"\n"):
+                    # Torn final write of an interrupted run: the unit will
+                    # simply be re-executed on resume; do not advance past it.
+                    return
+                offset += len(raw_line)
+                line = raw_line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and record.get("unit_id"):
+                    yield record, offset
 
     def load_records(self) -> Dict[str, dict]:
         """All completed-unit records, keyed by ``unit_id``.
@@ -144,22 +195,10 @@ class CampaignStore:
         earlier checkpoints.
         """
         records: Dict[str, dict] = {}
-        if not os.path.isfile(self.results_path):
-            return records
-        with open(self.results_path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # Torn final write of an interrupted run: the unit will
-                    # simply be re-executed on resume.
-                    continue
-                unit_id = record.get("unit_id")
-                if unit_id and unit_id not in records:
-                    records[unit_id] = record
+        for record, _ in self.iter_records():
+            unit_id = record["unit_id"]
+            if unit_id not in records:
+                records[unit_id] = record
         return records
 
     def completed_ids(self) -> Set[str]:

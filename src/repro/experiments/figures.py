@@ -5,6 +5,12 @@ acceptance-ratio series (one column per protocol), (ii) a simple ASCII plot
 for terminal inspection, and (iii) CSV files for external plotting — the
 repository deliberately has no plotting dependency.
 
+Series assembly and CSV writing live in :mod:`repro.report.series` (the
+aggregation path shared with the grid reports); the helpers here are thin
+single-sweep front-ends over it, so a scenario's CSV is byte-identical
+whether it was written by :func:`write_series_csv` or by
+``python -m repro.campaign report``.
+
 Sweep results can come straight from :func:`~repro.experiments.runner.run_sweep`
 or be loaded from an on-disk campaign store (:func:`load_sweep_results`), so
 figure regeneration never requires re-running the experiments.
@@ -16,12 +22,9 @@ empty cell (CSV), and every row reports its ``generation_failures`` count.
 
 from __future__ import annotations
 
-import csv
-import io
 import math
 from typing import List, Optional, Sequence
 
-from .metrics import SweepCurve
 from .runner import SweepResult
 
 #: Plot order used in Fig. 2.
@@ -31,26 +34,27 @@ FIGURE_PROTOCOLS = ("DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP", "FED-FP")
 def acceptance_series(result: SweepResult, protocols: Optional[Sequence[str]] = None) -> List[dict]:
     """Per-utilization-point acceptance ratios (one dict per point).
 
-    All curves of a sweep are built from the same task-set draws (the
-    runner/campaign assembler guarantees it), so the shared
-    ``generation_failures`` column is read from the first protocol's curve.
+    Delegates to :func:`repro.report.series.series_rows`: a sweep without
+    matching curves yields ``[]`` under the default selection, and an
+    explicit ``protocols`` list is validated (duplicates and protocols the
+    sweep has no curve for raise a :class:`ValueError` naming them).
     """
-    protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
-    rows: List[dict] = []
-    reference = result.curves[protocols[0]]
-    failures = reference.generation_failures
-    ratios = {p: result.curves[p].acceptance_ratios for p in protocols}
-    m = result.scenario.platform_size
-    for index, utilization in enumerate(reference.utilizations):
-        row = {
-            "utilization": utilization,
-            "normalized_utilization": utilization / m,
-            "generation_failures": failures[index] if index < len(failures) else 0,
-        }
-        for protocol in protocols:
-            row[protocol] = ratios[protocol][index]
-        rows.append(row)
-    return rows
+    # Deferred import, NOT hoistable: repro.report builds on this package
+    # at module level (see DESIGN.md, "Layering").
+    from ..report.series import series_rows
+
+    return series_rows(result, protocols)
+
+
+def _resolve(result: SweepResult, protocols: Optional[Sequence[str]]) -> List[str]:
+    """Resolve/validate the protocol selection (paper's figure order).
+
+    ``report.series`` defaults to :data:`FIGURE_PROTOCOLS` already — this
+    wrapper only hides the deferred import for the renderers below.
+    """
+    from ..report.series import resolve_protocols
+
+    return resolve_protocols(result, protocols)
 
 
 def _format_ratio(ratio: float, width: int = 10) -> str:
@@ -67,7 +71,7 @@ def render_series_table(
     A trailing ``fails`` column appears when any point lost task-set draws to
     generation failures.
     """
-    protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
+    protocols = _resolve(result, protocols)
     rows = acceptance_series(result, protocols)
     show_failures = any(row["generation_failures"] for row in rows)
     header = ["U/m"] + list(protocols) + (["fails"] if show_failures else [])
@@ -93,7 +97,7 @@ def render_ascii_plot(
     character cell, which is plenty to eyeball the crossovers reported in the
     paper.  Points with no realised task sets are left blank.
     """
-    protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
+    protocols = _resolve(result, protocols)
     markers = "ox+*#@%&"
     rows = acceptance_series(result, protocols)
     width = len(rows)
@@ -120,27 +124,9 @@ def series_to_csv(
     result: SweepResult, protocols: Optional[Sequence[str]] = None
 ) -> str:
     """CSV text of the acceptance-ratio series (for external plotting)."""
-    protocols = protocols or [p for p in FIGURE_PROTOCOLS if p in result.curves]
-    rows = acceptance_series(result, protocols)
-    buffer = io.StringIO()
-    writer = csv.DictWriter(
-        buffer,
-        fieldnames=[
-            "utilization",
-            "normalized_utilization",
-            *protocols,
-            "generation_failures",
-        ],
-        lineterminator="\n",
-    )
-    writer.writeheader()
-    for row in rows:
-        row = dict(row)
-        for protocol in protocols:
-            if math.isnan(row[protocol]):
-                row[protocol] = ""
-        writer.writerow(row)
-    return buffer.getvalue()
+    from ..report.series import series_csv
+
+    return series_csv(result, protocols)
 
 
 def write_series_csv(result: SweepResult, path: str) -> None:
@@ -150,24 +136,26 @@ def write_series_csv(result: SweepResult, path: str) -> None:
 
 
 def load_sweep_results(
-    store_directory: str, allow_partial: bool = True
+    store_directory: str, allow_partial: bool = True, use_cache: bool = False
 ) -> List[SweepResult]:
     """Load sweep results from an on-disk campaign store.
 
     Decouples figure/table regeneration from campaign execution: a store
     produced by ``python -m repro.campaign run`` can be re-rendered at any
-    time.  Scenarios whose sweep is incomplete are skipped when
-    ``allow_partial`` is true, otherwise a ``ValueError`` is raised.
+    time.  The store is folded by the reporting aggregator
+    (:func:`repro.report.aggregate.aggregate_store`); pass
+    ``use_cache=True`` to reuse/refresh its on-disk aggregation cache.
+    Scenarios whose sweep is incomplete are skipped when ``allow_partial``
+    is true, otherwise a ``ValueError`` is raised.
     """
-    # Deferred import, NOT hoistable: repro.campaign imports this package at
-    # module level (see DESIGN.md, "Layering").
-    from ..campaign.executor import UnitResult, assemble_campaign
-    from ..campaign.planner import plan_from_manifest
-    from ..campaign.store import CampaignStore
+    from ..report.aggregate import aggregate_store
 
-    store = CampaignStore(store_directory)
-    plan = plan_from_manifest(store.read_manifest())
-    results = [
-        UnitResult.from_record(record) for record in store.load_records().values()
-    ]
-    return assemble_campaign(plan, results, allow_partial=allow_partial)
+    aggregate = aggregate_store(store_directory, use_cache=use_cache)
+    if not allow_partial:
+        for report in aggregate.incomplete_reports():
+            raise ValueError(
+                f"scenario {report.scenario.scenario_id} is incomplete "
+                f"({report.points_done}/{report.points_total} units); resume "
+                "the campaign or pass allow_partial=True"
+            )
+    return aggregate.complete_results()

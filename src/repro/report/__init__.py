@@ -1,0 +1,59 @@
+"""Reporting subsystem: from an on-disk campaign store to the paper's
+figures and tables without re-running a single analysis.
+
+The pipeline is ``store → aggregate → render``:
+
+* :mod:`repro.report.aggregate` streams a store's ``results.jsonl``, folds
+  the work-unit records into per-scenario sweep curves and cross-scenario
+  rollups, and caches the folded state on disk keyed by the manifest hash
+  (re-reporting an unchanged store is a cache read; a grown store costs
+  only its appended tail);
+* :mod:`repro.report.series` assembles per-sweep acceptance rows — the one
+  code path shared with the single-sweep helpers in
+  :mod:`repro.experiments.figures`;
+* :mod:`repro.report.svg`, :mod:`repro.report.html`, and
+  :mod:`repro.report.markdown` render the Fig.-2 curve grid and the
+  Sec.-VII summary tables with zero plotting dependencies;
+* :mod:`repro.report.bundle` writes the whole deliverable set
+  (``REPORT.md``, ``report.html``, per-scenario CSVs) into one directory.
+
+The CLI front-end is ``python -m repro.campaign report --store DIR``.
+"""
+
+from .aggregate import (
+    CACHE_NAME,
+    CacheStats,
+    ScenarioReport,
+    StoreAggregate,
+    StoreAggregator,
+    aggregate_store,
+)
+from .bundle import ReportBundle, write_report_bundle
+from .html import render_html_report
+from .markdown import render_markdown_report
+from .series import (
+    DEFAULT_PROTOCOL_ORDER,
+    resolve_protocols,
+    series_csv,
+    series_rows,
+)
+from .svg import curve_segments, render_svg_chart
+
+__all__ = [
+    "CACHE_NAME",
+    "CacheStats",
+    "ScenarioReport",
+    "StoreAggregate",
+    "StoreAggregator",
+    "aggregate_store",
+    "ReportBundle",
+    "write_report_bundle",
+    "render_html_report",
+    "render_markdown_report",
+    "DEFAULT_PROTOCOL_ORDER",
+    "resolve_protocols",
+    "series_csv",
+    "series_rows",
+    "curve_segments",
+    "render_svg_chart",
+]

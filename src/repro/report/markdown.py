@@ -1,0 +1,128 @@
+"""Markdown report (``REPORT.md``): summary tables plus per-scenario series.
+
+The Markdown output is deterministic for a given store — scenario sections
+follow plan order, no timestamps or absolute paths appear — so a
+fixed-seed campaign pins it byte-for-byte in a golden-file test.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..experiments.figures import render_ascii_plot, render_series_table
+from ..experiments.tables import render_dominance_table, render_outperformance_table
+from .aggregate import StoreAggregate
+from .series import resolve_protocols
+
+
+def _markdown_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A GitHub-flavoured Markdown table from pre-formatted cells."""
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _ratio(value: float) -> str:
+    """Format an acceptance ratio for a Markdown cell (``n/a`` for NaN)."""
+    return "n/a" if math.isnan(value) else f"{value:.3f}"
+
+
+def render_markdown_report(
+    aggregate: StoreAggregate, protocols: Optional[Sequence[str]] = None
+) -> str:
+    """Render a full store aggregate as one ``REPORT.md`` document.
+
+    Sections: campaign summary, weighted acceptance, the Sec.-VII
+    dominance/outperformance tables (as fenced text, matching the CLI
+    export), and one series table + ASCII plot per complete scenario.
+    ``protocols`` restricts and orders the reported curves.
+    """
+    manifest = aggregate.manifest
+    complete = aggregate.complete_reports()
+    incomplete = aggregate.incomplete_reports()
+
+    parts: List[str] = ["# Campaign report", ""]
+    parts.append(
+        _markdown_table(
+            ("", ""),
+            [
+                ("Config hash", f"`{manifest.get('config_hash', '')[:16]}…`"),
+                ("Protocols", ", ".join(aggregate.protocols)),
+                ("Scenarios", f"{len(complete)}/{len(aggregate.scenarios)} complete"),
+                (
+                    "Work units",
+                    f"{aggregate.completed_units}/{aggregate.total_units} stored",
+                ),
+                ("Evaluated task sets", str(aggregate.evaluated_samples)),
+                ("Failed task-set draws", str(aggregate.generation_failures)),
+            ],
+        )
+    )
+    parts.append("")
+    if incomplete:
+        parts.append(
+            "**Campaign incomplete** — the scenarios below cover only the "
+            "completed sweeps; resume the campaign to fill in the rest."
+        )
+        parts.append("")
+
+    weighted = aggregate.weighted_acceptance()
+    if weighted:
+        selected = list(protocols) if protocols is not None else aggregate.protocols
+        parts.append("## Weighted acceptance (complete scenarios)")
+        parts.append("")
+        parts.append(
+            _markdown_table(
+                selected,
+                [[_ratio(weighted.get(p, math.nan)) for p in selected]],
+            )
+        )
+        parts.append("")
+
+    stats = aggregate.pairwise()
+    if stats is not None:
+        parts.append("## Pairwise statistics")
+        parts.append("")
+        parts.append("```text")
+        parts.append(render_dominance_table(stats, protocols=stats.protocols))
+        parts.append("```")
+        parts.append("")
+        parts.append("```text")
+        parts.append(render_outperformance_table(stats, protocols=stats.protocols))
+        parts.append("```")
+        parts.append("")
+
+    parts.append(f"## Acceptance-ratio series ({len(complete)} scenarios)")
+    parts.append("")
+    for report in complete:
+        scenario_id = report.scenario.scenario_id
+        chart_protocols = resolve_protocols(report.sweep, protocols)
+        parts.append(f"### {scenario_id}")
+        parts.append("")
+        parts.append("```text")
+        parts.append(
+            render_series_table(report.sweep, chart_protocols, title=scenario_id)
+        )
+        parts.append("```")
+        parts.append("")
+        parts.append("```text")
+        parts.append(render_ascii_plot(report.sweep, chart_protocols))
+        parts.append("```")
+        parts.append("")
+
+    if incomplete:
+        parts.append(f"## Incomplete scenarios ({len(incomplete)})")
+        parts.append("")
+        for report in incomplete:
+            parts.append(
+                f"- `{report.scenario.scenario_id}`: "
+                f"{report.points_done}/{report.points_total} points"
+            )
+        parts.append("")
+
+    return "\n".join(parts).rstrip() + "\n"

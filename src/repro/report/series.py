@@ -1,0 +1,128 @@
+"""Per-sweep series assembly — the one place acceptance rows are built.
+
+Both the single-sweep figure helpers (:mod:`repro.experiments.figures`) and
+the grid reporting renderers in this package turn a
+:class:`~repro.experiments.runner.SweepResult` into per-utilization-point
+rows through :func:`series_rows` / :func:`series_csv`, so the CSV emitted
+for one scenario is byte-identical no matter which path produced it.
+
+Rows carry NaN acceptance ratios for points where every task-set draw
+failed (see ``SweepCurve.generation_failures``); the renderers turn those
+into ``n/a`` table cells, ASCII-plot gaps, empty CSV cells, and broken SVG
+polylines — never a fabricated ratio.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import List, Optional, Sequence
+
+from ..experiments.figures import FIGURE_PROTOCOLS
+from ..experiments.runner import SweepResult
+
+#: Default protocol order of series assembly: the paper's plot order.  The
+#: canonical tuple lives in ``experiments.figures`` (that layer cannot
+#: import the campaign registry the order mirrors); this alias keeps one
+#: definition flowing through both the single-sweep and the grid path.
+DEFAULT_PROTOCOL_ORDER = FIGURE_PROTOCOLS
+
+
+def resolve_protocols(
+    result: SweepResult,
+    protocols: Optional[Sequence[str]] = None,
+    default_order: Sequence[str] = DEFAULT_PROTOCOL_ORDER,
+) -> List[str]:
+    """Validate and resolve the protocol selection for one sweep.
+
+    With ``protocols=None`` the sweep's curves are returned in
+    ``default_order`` (possibly empty for a sweep with no curves).  A
+    caller-supplied list must be free of duplicates and fully covered by the
+    sweep; otherwise a :class:`ValueError` names the offending protocols
+    instead of letting an ``IndexError``/``KeyError`` escape from deep inside
+    a renderer.
+    """
+    if protocols is None:
+        return [p for p in default_order if p in result.curves]
+    resolved = list(protocols)
+    duplicates = sorted({p for p in resolved if resolved.count(p) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate protocol name(s): {', '.join(duplicates)}")
+    missing = [p for p in resolved if p not in result.curves]
+    if missing:
+        available = ", ".join(result.curves) or "none"
+        raise ValueError(
+            f"sweep of scenario {result.scenario.scenario_id} has no curve "
+            f"for protocol(s) {', '.join(missing)} (available: {available})"
+        )
+    return resolved
+
+
+def series_rows(
+    result: SweepResult, protocols: Optional[Sequence[str]] = None
+) -> List[dict]:
+    """Per-utilization-point acceptance ratios of one sweep (one dict each).
+
+    Each row maps ``utilization``, ``normalized_utilization``,
+    ``generation_failures``, and one key per protocol to that protocol's
+    acceptance ratio (NaN where no task set was realised).  All curves of a
+    sweep are built from the same task-set draws (the runner/campaign
+    assembler guarantees it), so the shared ``generation_failures`` column is
+    read from the first selected protocol's curve.  An empty selection — a
+    sweep with no curves and no explicit ``protocols`` — yields ``[]``.
+    """
+    return _assemble_rows(result, resolve_protocols(result, protocols))
+
+
+def _assemble_rows(result: SweepResult, protocols: List[str]) -> List[dict]:
+    """Row assembly over an already-resolved protocol list."""
+    if not protocols:
+        return []
+    rows: List[dict] = []
+    reference = result.curves[protocols[0]]
+    failures = reference.generation_failures
+    ratios = {p: result.curves[p].acceptance_ratios for p in protocols}
+    m = result.scenario.platform_size
+    for index, utilization in enumerate(reference.utilizations):
+        row = {
+            "utilization": utilization,
+            "normalized_utilization": utilization / m,
+            "generation_failures": failures[index] if index < len(failures) else 0,
+        }
+        for protocol in protocols:
+            row[protocol] = ratios[protocol][index]
+        rows.append(row)
+    return rows
+
+
+def series_csv(
+    result: SweepResult, protocols: Optional[Sequence[str]] = None
+) -> str:
+    """CSV text of one sweep's acceptance-ratio series.
+
+    NaN ratios become empty cells.  This is the single CSV writer behind
+    ``repro.experiments.series_to_csv`` and the report bundle's per-scenario
+    files, so the two are byte-identical for the same sweep.
+    """
+    protocols = resolve_protocols(result, protocols)
+    rows = _assemble_rows(result, protocols)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer,
+        fieldnames=[
+            "utilization",
+            "normalized_utilization",
+            *protocols,
+            "generation_failures",
+        ],
+        lineterminator="\n",
+    )
+    writer.writeheader()
+    for row in rows:
+        row = dict(row)
+        for protocol in protocols:
+            if math.isnan(row[protocol]):
+                row[protocol] = ""
+        writer.writerow(row)
+    return buffer.getvalue()

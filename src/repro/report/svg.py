@@ -1,0 +1,170 @@
+"""Inline-SVG rendering of acceptance-ratio curves (zero dependencies).
+
+One sweep becomes one ``<svg>`` element: a polyline per protocol over the
+normalized-utilization axis, with axis ticks, a legend, and — like every
+other renderer — *gaps* where a utilization point realised no task set
+(NaN acceptance ratio splits the polyline instead of interpolating across
+the hole).  The markup is self-contained (no scripts, no external assets)
+so it can be embedded verbatim into the HTML report bundle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+from xml.sax.saxutils import escape
+
+from ..experiments.runner import SweepResult
+from .series import resolve_protocols, series_rows
+
+#: Line colors per protocol slot (cycled when more protocols are plotted).
+#: Chosen for mutual contrast on a white background.
+CURVE_COLORS = (
+    "#1f77b4",  # blue
+    "#d62728",  # red
+    "#2ca02c",  # green
+    "#9467bd",  # purple
+    "#ff7f0e",  # orange
+    "#8c564b",  # brown
+    "#17becf",  # cyan
+    "#7f7f7f",  # grey
+)
+
+#: Dash patterns cycled alongside the colors so curves stay tellable apart
+#: even when printed in greyscale.
+CURVE_DASHES = ("", "6,3", "2,2", "8,3,2,3", "4,4", "1,3", "10,4", "3,6")
+
+
+def _fmt(value: float) -> str:
+    """Compact fixed-point coordinate formatting (SVG user units)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def curve_segments(
+    xs: Sequence[float], ys: Sequence[float]
+) -> List[List[tuple]]:
+    """Split a sampled curve into contiguous non-NaN segments.
+
+    Each returned segment is a list of ``(x, y)`` pairs; NaN ``y`` values
+    terminate the current segment, so plotting one polyline per segment
+    leaves a visible gap instead of bridging unrealised points.
+    """
+    segments: List[List[tuple]] = []
+    current: List[tuple] = []
+    for x, y in zip(xs, ys):
+        if math.isnan(y):
+            if current:
+                segments.append(current)
+                current = []
+            continue
+        current.append((x, y))
+    if current:
+        segments.append(current)
+    return segments
+
+
+def render_svg_chart(
+    result: SweepResult,
+    protocols: Optional[Sequence[str]] = None,
+    *,
+    width: int = 360,
+    height: int = 240,
+    title: Optional[str] = None,
+) -> str:
+    """Render one sweep as a self-contained ``<svg>`` acceptance-ratio chart.
+
+    ``protocols`` selects and orders the plotted curves (default: the
+    paper's figure order restricted to the sweep); ``title`` defaults to the
+    scenario id.  The x axis is the normalized utilization ``U/m`` in
+    ``[0, 1]``, the y axis the acceptance ratio in ``[0, 1]``.
+    """
+    protocols = resolve_protocols(result, protocols)
+    rows = series_rows(result, protocols)
+    title = title if title is not None else result.scenario.scenario_id
+
+    margin_left, margin_right = 42.0, 10.0
+    margin_top, margin_bottom = 22.0, 30.0 + 14.0 * ((len(protocols) + 2) // 3)
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    def x_pos(u: float) -> float:
+        return margin_left + u * plot_w
+
+    def y_pos(ratio: float) -> float:
+        return margin_top + (1.0 - ratio) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" class="curve-chart">',
+        f'<title>{escape(title)}</title>',
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{_fmt(margin_left)}" y="14" font-size="11" '
+        f'font-family="sans-serif">{escape(title)}</text>',
+    ]
+
+    # Axes, gridlines, and tick labels.
+    for tick in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = y_pos(tick)
+        parts.append(
+            f'<line x1="{_fmt(margin_left)}" y1="{_fmt(y)}" '
+            f'x2="{_fmt(margin_left + plot_w)}" y2="{_fmt(y)}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(margin_left - 6)}" y="{_fmt(y + 3)}" font-size="9" '
+            f'text-anchor="end" font-family="sans-serif">{tick:g}</text>'
+        )
+        x = x_pos(tick)
+        parts.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(margin_top + plot_h + 12)}" '
+            f'font-size="9" text-anchor="middle" font-family="sans-serif">{tick:g}</text>'
+        )
+    parts.append(
+        f'<rect x="{_fmt(margin_left)}" y="{_fmt(margin_top)}" '
+        f'width="{_fmt(plot_w)}" height="{_fmt(plot_h)}" fill="none" '
+        f'stroke="#333333" stroke-width="1"/>'
+    )
+
+    # One polyline per contiguous non-NaN segment of each protocol's curve.
+    xs = [row["normalized_utilization"] for row in rows]
+    for index, protocol in enumerate(protocols):
+        color = CURVE_COLORS[index % len(CURVE_COLORS)]
+        dash = CURVE_DASHES[index % len(CURVE_DASHES)]
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        ys = [row[protocol] for row in rows]
+        for segment in curve_segments(xs, ys):
+            if len(segment) == 1:
+                x, y = segment[0]
+                parts.append(
+                    f'<circle cx="{_fmt(x_pos(x))}" cy="{_fmt(y_pos(y))}" '
+                    f'r="2" fill="{color}"/>'
+                )
+                continue
+            coords = " ".join(
+                f"{_fmt(x_pos(x))},{_fmt(y_pos(y))}" for x, y in segment
+            )
+            parts.append(
+                f'<polyline points="{coords}" fill="none" stroke="{color}" '
+                f'stroke-width="1.5"{dash_attr}/>'
+            )
+
+    # Legend: up to three entries per row under the plot.
+    legend_top = margin_top + plot_h + 24.0
+    for index, protocol in enumerate(protocols):
+        color = CURVE_COLORS[index % len(CURVE_COLORS)]
+        dash = CURVE_DASHES[index % len(CURVE_DASHES)]
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        column, line = index % 3, index // 3
+        x = margin_left + column * (plot_w / 3.0)
+        y = legend_top + 14.0 * line
+        parts.append(
+            f'<line x1="{_fmt(x)}" y1="{_fmt(y - 3)}" x2="{_fmt(x + 18)}" '
+            f'y2="{_fmt(y - 3)}" stroke="{color}" stroke-width="1.5"{dash_attr}/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x + 22)}" y="{_fmt(y)}" font-size="9" '
+            f'font-family="sans-serif">{escape(protocol)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)

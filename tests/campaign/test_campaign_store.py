@@ -86,6 +86,22 @@ def test_torn_trailing_line_is_ignored(tmp_path, manifest):
     assert set(store.load_records()) == {"u1"}
 
 
+def test_append_after_a_torn_line_heals_it_and_loses_no_record(tmp_path, manifest):
+    store = CampaignStore(str(tmp_path))
+    store.initialize(manifest)
+    store.append(record("u1"))
+    with open(store.results_path, "a") as handle:
+        handle.write('{"unit_id": "u2", "accepted": {"SP')  # killed mid-write
+    # The resume path appends the re-executed unit: it must not merge into
+    # the torn line (which would silently discard it).
+    store.append(record("u2", accepted=0))
+    records = store.load_records()
+    assert set(records) == {"u1", "u2"}
+    assert records["u2"]["accepted"] == {"SPIN": 0}
+    # And the incremental reader walks straight through the healed junk line.
+    assert [r["unit_id"] for r, _ in store.iter_records()] == ["u1", "u2"]
+
+
 def test_config_mismatch_is_refused(tmp_path, manifest, scenario):
     store = CampaignStore(str(tmp_path))
     store.initialize(manifest)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the reporting tests: one tiny fixed-seed campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import cli
+
+#: Flags of the deterministic reporting fixture campaign: the two m=16
+#: Fig. 2 scenarios on tiny DAGs, SPIN + FED-FP only — cheap, but with at
+#: least one generation failure so NaN handling is exercised end to end.
+CAMPAIGN_FLAGS = [
+    "--grid", "fig2",
+    "--filter", "m=16",
+    "--samples", "2",
+    "--step", "0.5",
+    "--vertices", "5,8",
+    "--protocols", "SPIN,FED-FP",
+    "--seed", "2020",
+    "--quiet",
+]
+
+#: 2 scenarios x 2 utilization points.
+CAMPAIGN_UNITS = 4
+
+
+def _run_campaign(store: str, *extra: str) -> int:
+    return cli.main(["run", "--store", store, *CAMPAIGN_FLAGS, *extra])
+
+
+@pytest.fixture
+def run_campaign():
+    """Run the fixture campaign into a store (extra flags appended)."""
+    return _run_campaign
+
+
+@pytest.fixture(scope="session")
+def finished_store(tmp_path_factory) -> str:
+    """A completed fixture campaign store (session-scoped, read-only).
+
+    Tests that mutate the store (cache files, resumes) must copy it or run
+    their own campaign instead.
+    """
+    store = str(tmp_path_factory.mktemp("report-fixture") / "store")
+    assert _run_campaign(store) == 0
+    return store

@@ -1,0 +1,114 @@
+"""CLI tests for ``python -m repro.campaign report``."""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign import cli
+from repro.report.aggregate import CACHE_NAME
+
+
+def run_cli(*argv):
+    return cli.main(list(argv))
+
+
+def test_report_renders_bundle_with_zero_reruns(finished_store, tmp_path, capsys):
+    out = str(tmp_path / "out")
+    assert run_cli("report", "--store", finished_store, "--out", out, "--no-cache") == 0
+    stdout = capsys.readouterr().out
+    assert "2 scenario series + REPORT.md + report.html" in stdout
+    assert sorted(os.listdir(out)) == ["REPORT.md", "report.html", "series"]
+    assert len(os.listdir(os.path.join(out, "series"))) == 2
+    with open(os.path.join(out, "REPORT.md")) as handle:
+        assert "# Campaign report" in handle.read()
+    # --no-cache left the store untouched.
+    assert not os.path.exists(os.path.join(finished_store, CACHE_NAME))
+
+
+def test_report_defaults_to_store_subdirectory(tmp_path, run_campaign, capsys):
+    store = str(tmp_path / "store")
+    assert run_campaign(store) == 0
+    assert run_cli("report", "--store", store) == 0
+    capsys.readouterr()
+    assert os.path.isfile(os.path.join(store, "report", "report.html"))
+
+
+def test_second_report_hits_the_aggregation_cache(tmp_path, run_campaign, capsys):
+    store = str(tmp_path / "store")
+    out = str(tmp_path / "out")
+    assert run_campaign(store) == 0
+    assert run_cli("report", "--store", store, "--out", out) == 0
+    first = capsys.readouterr().out
+    assert "aggregation cache: miss [cold] (4 units folded" in first
+    assert run_cli("report", "--store", store, "--out", out) == 0
+    second = capsys.readouterr().out
+    assert "aggregation cache: hit (4 units cached, 0 folded" in second
+
+
+def test_report_on_partial_store_is_watch_friendly(tmp_path, run_campaign, capsys):
+    store = str(tmp_path / "store")
+    out = str(tmp_path / "out")
+    assert run_campaign(store, "--max-units", "3") == 3
+
+    # Incomplete campaign: partial report, exit code 3 (poll again later).
+    assert run_cli("report", "--store", store, "--out", out) == 3
+    stdout = capsys.readouterr().out
+    assert "campaign incomplete" in stdout
+    assert "1 scenario series" in stdout
+
+    # --strict refuses instead.
+    assert run_cli("report", "--store", store, "--out", out, "--strict") == 2
+    assert "campaign incomplete" in capsys.readouterr().err
+
+    # After resuming, the same invocation converges to 0.
+    assert run_cli("resume", "--store", store, "--quiet") == 0
+    assert run_cli("report", "--store", store, "--out", out) == 0
+
+
+def test_report_protocol_restriction_and_validation(finished_store, tmp_path, capsys):
+    out = str(tmp_path / "out")
+    assert (
+        run_cli(
+            "report", "--store", finished_store, "--out", out,
+            "--no-cache", "--protocols", "FED-FP",
+        )
+        == 0
+    )
+    capsys.readouterr()
+    series = os.listdir(os.path.join(out, "series"))[0]
+    with open(os.path.join(out, "series", series)) as handle:
+        header = handle.readline().strip()
+    assert header == "utilization,normalized_utilization,FED-FP,generation_failures"
+
+    # A protocol the campaign never ran is refused with a clear error.
+    assert (
+        run_cli(
+            "report", "--store", finished_store, "--out", out,
+            "--no-cache", "--protocols", "LPP",
+        )
+        == 2
+    )
+    assert "LPP were not part of this campaign" in capsys.readouterr().err
+
+
+def test_report_rejects_foreign_protocols_even_on_an_empty_store(
+    tmp_path, run_campaign, capsys
+):
+    # The refusal must not depend on how far the campaign got — a watch
+    # loop polling on exit codes needs the signal to be stable.
+    store = str(tmp_path / "store")
+    assert run_campaign(store, "--max-units", "0") == 3
+    assert run_cli("report", "--store", store, "--protocols", "LPP") == 2
+    assert "LPP were not part of this campaign" in capsys.readouterr().err
+
+
+def test_report_rejects_an_empty_protocol_list(finished_store, tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):  # argparse refuses --protocols ""
+        run_cli("report", "--store", finished_store, "--protocols", "")
+
+
+def test_report_of_missing_store_fails_cleanly(tmp_path, capsys):
+    assert run_cli("report", "--store", str(tmp_path / "nope")) == 2
+    assert "holds no campaign" in capsys.readouterr().err

@@ -1,0 +1,82 @@
+"""Tier-1 enforcement of public-docstring coverage over ``src/repro``.
+
+CI runs ``tools/check_docstrings.py`` as its docs gate; this test keeps the
+same bar inside the regular suite so a missing public docstring fails fast
+locally too.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import check_docstrings  # noqa: E402  (needs the tools/ path above)
+
+
+def test_public_api_docstring_coverage_meets_the_bar(capsys):
+    source = os.path.join(REPO_ROOT, "src", "repro")
+    assert check_docstrings.main([source, "--fail-under", "95"]) == 0, (
+        "public docstring coverage dropped below 95% — run "
+        "'python tools/check_docstrings.py src/repro' for the missing list"
+    )
+
+
+def test_checker_detects_missing_docstrings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        '"""Module docstring."""\n'
+        "def documented():\n"
+        '    """Has one."""\n'
+        "def undocumented():\n"
+        "    pass\n"
+        "class Thing:\n"
+        "    def method(self):\n"
+        "        pass\n"
+        "    def _private(self):\n"
+        "        pass\n"
+    )
+    assert check_docstrings.main([str(bad), "--fail-under", "100"]) == 1
+    out = capsys.readouterr().out
+    assert "undocumented" in out
+    assert "Thing.method" in out
+    assert "_private" not in out
+    # 2 of 5 public objects documented -> 40%, so a 40% bar passes.
+    assert check_docstrings.main([str(bad), "--fail-under", "40", "--quiet"]) == 0
+
+
+def test_checker_skips_property_setters_and_dunders(tmp_path, capsys):
+    source = tmp_path / "props.py"
+    source.write_text(
+        '"""Module docstring."""\n'
+        "class Box:\n"
+        '    """A box."""\n'
+        "    def __init__(self):\n"
+        "        self._v = None\n"
+        "    @property\n"
+        "    def value(self):\n"
+        '        """The value."""\n'
+        "        return self._v\n"
+        "    @value.setter\n"
+        "    def value(self, v):\n"
+        "        self._v = v\n"
+    )
+    assert check_docstrings.main([str(source), "--fail-under", "100"]) == 0
+
+
+def test_checker_fails_cleanly_on_unparseable_input(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def (:\n")
+    assert check_docstrings.main([str(broken)]) == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("name", ["__init__", "_helper"])
+def test_private_and_dunder_names_are_not_counted(tmp_path, name):
+    source = tmp_path / "mod.py"
+    source.write_text(f'"""Doc."""\ndef {name}():\n    pass\n')
+    assert check_docstrings.main([str(source), "--fail-under", "100"]) == 0

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Public-docstring coverage gate (an `interrogate`-style check, zero deps).
+
+Walks Python sources and counts the *public API surface*: modules, plus
+top-level (and class-level) functions and classes whose names do not start
+with an underscore.  Each such object must carry a docstring.  Coverage
+below ``--fail-under`` (percent) fails the run and lists every missing
+docstring, so CI can gate documentation the way it gates tests::
+
+    python tools/check_docstrings.py src/repro --fail-under 95
+
+Skipped by design: private names (leading underscore), dunder methods
+(``__init__`` documents itself through the class docstring), ``@overload``
+stubs, and property setters/deleters (documented by their getter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+
+def iter_python_files(paths: List[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under the given files/directories (sorted)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Best-effort dotted name of a decorator expression."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_exempt_function(node: ast.AST) -> bool:
+    """Overload stubs and property setters/deleters need no own docstring."""
+    for decorator in getattr(node, "decorator_list", []):
+        name = _decorator_name(decorator)
+        if name in ("overload", "typing.overload"):
+            return True
+        if name.endswith(".setter") or name.endswith(".deleter"):
+            return True
+    return False
+
+
+def collect(tree: ast.Module, module_label: str) -> List[Tuple[str, bool]]:
+    """Return ``(qualified name, has_docstring)`` for the public surface of
+    one parsed module."""
+    results: List[Tuple[str, bool]] = [
+        (module_label, ast.get_docstring(tree) is not None)
+    ]
+
+    def visit(body, prefix: str) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_public(node.name) or _is_exempt_function(node):
+                    continue
+                results.append(
+                    (f"{prefix}{node.name}", ast.get_docstring(node) is not None)
+                )
+                # Nested defs are implementation details: not part of the
+                # public surface, so do not recurse into function bodies.
+            elif isinstance(node, ast.ClassDef):
+                if not _is_public(node.name):
+                    continue
+                label = f"{prefix}{node.name}"
+                results.append((label, ast.get_docstring(node) is not None))
+                visit(node.body, f"{label}.")
+
+    visit(tree.body, f"{module_label}:")
+    return results
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="+", help="files or directories to check (e.g. src/repro)"
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=95.0,
+        metavar="PCT",
+        help="minimum acceptable coverage percentage (default: 95)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the final summary line"
+    )
+    args = parser.parse_args(argv)
+
+    checked: List[Tuple[str, bool]] = []
+    for path in iter_python_files(args.paths):
+        with open(path, "rb") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            print(f"error: cannot parse {path}: {error}", file=sys.stderr)
+            return 2
+        checked.extend(collect(tree, path))
+
+    if not checked:
+        print("error: no Python files found", file=sys.stderr)
+        return 2
+
+    missing = [name for name, documented in checked if not documented]
+    coverage = 100.0 * (len(checked) - len(missing)) / len(checked)
+    if missing and not args.quiet:
+        print("missing docstrings:")
+        for name in missing:
+            print(f"  {name}")
+    status = "PASSED" if coverage >= args.fail_under else "FAILED"
+    print(
+        f"docstring coverage: {len(checked) - len(missing)}/{len(checked)} "
+        f"public objects = {coverage:.1f}% (required: {args.fail_under:g}%) "
+        f"— {status}"
+    )
+    return 0 if status == "PASSED" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
