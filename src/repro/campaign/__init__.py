@@ -14,10 +14,16 @@ from .executor import (
     assemble_sweep,
     build_protocols,
     execute_plan,
+    execute_simulation_unit,
     execute_unit,
     execute_units,
+    plan_runner,
 )
 from .planner import (
+    CAMPAIGN_MODES,
+    MODE_ANALYZE,
+    MODE_SIMULATE,
+    SIMULATABLE_PROTOCOLS,
     CampaignPlan,
     WorkUnit,
     campaign_manifest,
@@ -36,8 +42,14 @@ __all__ = [
     "assemble_sweep",
     "build_protocols",
     "execute_plan",
+    "execute_simulation_unit",
     "execute_unit",
     "execute_units",
+    "plan_runner",
+    "CAMPAIGN_MODES",
+    "MODE_ANALYZE",
+    "MODE_SIMULATE",
+    "SIMULATABLE_PROTOCOLS",
     "CampaignPlan",
     "WorkUnit",
     "campaign_manifest",

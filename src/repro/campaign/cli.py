@@ -10,7 +10,10 @@
 
 ``run`` plans a campaign, writes the manifest, and executes it; re-running
 against an existing store with the same configuration simply resumes it,
-while a mismatched configuration is refused.  ``resume`` needs no
+while a mismatched configuration is refused.  ``run --mode simulate``
+additionally pushes every analysis-accepted task set through the DPCP-p
+runtime simulator (bound-tightness / invariant validation; see
+``docs/validation.md``).  ``resume`` needs no
 configuration flags at all — everything is recovered from the manifest.
 ``report`` renders the full deliverable bundle (``REPORT.md``,
 ``report.html``, per-scenario CSVs) from the store through the cached
@@ -29,9 +32,14 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.dpcp_p import DEFAULT_MAX_PATH_SIGNATURES
 from ..experiments.runner import SweepConfig
+from ..sim.validation import SimulationConfig
 from .executor import build_protocols, execute_plan
 from .planner import (
+    CAMPAIGN_MODES,
     KNOWN_PROTOCOLS,
+    MODE_ANALYZE,
+    MODE_SIMULATE,
+    SIMULATABLE_PROTOCOLS,
     CampaignPlan,
     campaign_manifest,
     grid_scenarios,
@@ -111,6 +119,38 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="plan and execute a campaign")
     add_store(run)
     run.add_argument(
+        "--mode",
+        choices=CAMPAIGN_MODES,
+        default=MODE_ANALYZE,
+        help="'analyze' evaluates the schedulability tests only; 'simulate' "
+        "additionally runs every accepted task set through the DPCP-p "
+        "runtime simulator and records bound-tightness/invariant evidence",
+    )
+    sim_defaults = SimulationConfig()
+    run.add_argument(
+        "--sim-hyperperiods",
+        type=int,
+        default=sim_defaults.hyperperiods,
+        metavar="N",
+        help="simulate mode: capped hyperperiods of jobs to release per run",
+    )
+    run.add_argument(
+        "--sim-max-events",
+        type=int,
+        default=sim_defaults.max_events,
+        metavar="N",
+        help="simulate mode: event budget per simulation run (0 = unlimited); "
+        "exhaustion truncates the run instead of hanging",
+    )
+    run.add_argument(
+        "--sim-wall-clock",
+        type=float,
+        default=sim_defaults.wall_clock_seconds,
+        metavar="SECONDS",
+        help="simulate mode: wall-clock budget per simulation run (default: "
+        "off — a wall-clock cut is not reproducible across machines)",
+    )
+    run.add_argument(
         "--grid",
         choices=("full", "fig2"),
         default="full",
@@ -154,9 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--protocols",
         type=_parse_protocols,
-        default=list(KNOWN_PROTOCOLS),
+        default=None,
         metavar="A,B,...",
-        help=f"protocols to evaluate (default: {','.join(KNOWN_PROTOCOLS)})",
+        help=f"protocols to evaluate (default: {','.join(KNOWN_PROTOCOLS)}; "
+        f"simulate mode defaults to {','.join(SIMULATABLE_PROTOCOLS)})",
     )
     run.add_argument(
         "--max-path-signatures",
@@ -304,7 +345,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_path_signatures=args.max_path_signatures,
         seed=args.seed,
     )
-    plan = plan_campaign(scenarios, config, args.protocols)
+    sim_config = None
+    if args.mode == MODE_SIMULATE:
+        sim_config = SimulationConfig(
+            hyperperiods=args.sim_hyperperiods,
+            max_events=args.sim_max_events if args.sim_max_events else None,
+            wall_clock_seconds=args.sim_wall_clock,
+        )
+    plan = plan_campaign(
+        scenarios, config, args.protocols, mode=args.mode, sim_config=sim_config
+    )
     store = CampaignStore(args.store)
     manifest = campaign_manifest(plan)
     resuming = store.exists()
@@ -313,7 +363,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"store {args.store} already holds this campaign — resuming")
     print(
         f"campaign: {len(scenarios)} scenarios, {len(plan.units)} work units, "
-        f"{len(plan.protocol_names)} protocols, workers={args.workers}"
+        f"{len(plan.protocol_names)} protocols, mode={plan.mode}, "
+        f"workers={args.workers}"
     )
     return _execute(plan, store, args)
 
@@ -341,6 +392,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
     elapsed = sum(record.get("elapsed_seconds", 0.0) for record in records.values())
     print(f"store:          {store.directory}")
     print(f"config hash:    {manifest['config_hash'][:16]}…")
+    print(f"mode:           {manifest['mode']}")
     print(f"protocols:      {', '.join(manifest['protocols'])}")
     print(f"scenarios:      {len(plan.scenarios)}")
     print(f"units:          {done}/{total} complete "
@@ -415,6 +467,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"report: {len(bundle.series_csvs)} scenario series + REPORT.md + "
         f"report.html in {out_dir}"
     )
+    if aggregate.mode == MODE_SIMULATE:
+        totals = aggregate.validation_totals().values()
+        simulated = sum(rollup.simulated for rollup in totals)
+        violations = sum(rollup.violations for rollup in totals)
+        failures = sum(rollup.rule_failures for rollup in totals)
+        truncated = sum(rollup.truncated for rollup in totals)
+        maxima = [
+            rollup.ratio.maximum
+            for rollup in totals
+            if rollup.ratio.maximum is not None
+        ]
+        worst = f"{max(maxima):.3f}" if maxima else "n/a"
+        print(
+            f"validation: {simulated} simulated runs, worst observed/bound "
+            f"{worst}, {violations} soundness violation(s), {failures} rule "
+            f"failure(s), {truncated} truncated"
+        )
     if incomplete:
         print(
             f"campaign incomplete — {len(incomplete)} scenario(s) omitted; "

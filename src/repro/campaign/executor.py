@@ -14,6 +14,7 @@ to plain in-process execution (no pool, no pickling) — the code path used by
 
 from __future__ import annotations
 
+import functools
 import math
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -23,11 +24,18 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..analysis.dpcp_p import DEFAULT_MAX_PATH_SIGNATURES
 from ..analysis.engine import compile_taskset
 from ..analysis.interfaces import SchedulabilityTest
+from ..experiments.metrics import ValidationRollup
 from ..generation.randfixedsum import GenerationError
 from ..generation.taskset_gen import generate_taskset
 from ..model.platform import Platform
+from ..sim.validation import (
+    STATUS_RULE_ERROR,
+    STATUS_TRUNCATED,
+    SimulationConfig,
+    validate_partition,
+)
 from ..utils.rng import ensure_rng, spawn_rngs
-from .planner import PROTOCOL_FACTORIES, CampaignPlan, WorkUnit
+from .planner import MODE_SIMULATE, PROTOCOL_FACTORIES, CampaignPlan, WorkUnit
 from .store import CampaignStore
 
 
@@ -43,10 +51,12 @@ class UnitResult:
     evaluated: int = 0
     generation_failures: int = 0
     elapsed_seconds: float = 0.0
+    #: Per-protocol validation evidence (simulate-mode units only).
+    simulation: Optional[Dict[str, ValidationRollup]] = None
 
     def to_record(self) -> dict:
         """Serialise into a store record."""
-        return {
+        record = {
             "unit_id": self.unit_id,
             "scenario_id": self.scenario_id,
             "point_index": self.point_index,
@@ -56,10 +66,21 @@ class UnitResult:
             "generation_failures": self.generation_failures,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
         }
+        if self.simulation is not None:
+            record["simulation"] = {
+                name: rollup.to_dict() for name, rollup in self.simulation.items()
+            }
+        return record
 
     @classmethod
     def from_record(cls, record: dict) -> "UnitResult":
         """Rebuild a result from a store record."""
+        simulation = None
+        if record.get("simulation") is not None:
+            simulation = {
+                name: ValidationRollup.from_dict(data)
+                for name, data in record["simulation"].items()
+            }
         return cls(
             unit_id=record["unit_id"],
             scenario_id=record["scenario_id"],
@@ -69,6 +90,7 @@ class UnitResult:
             evaluated=int(record["evaluated"]),
             generation_failures=int(record.get("generation_failures", 0)),
             elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+            simulation=simulation,
         )
 
 
@@ -107,24 +129,24 @@ def _require_unique_names(protocols: Sequence[SchedulabilityTest]) -> None:
         raise ValueError(f"duplicate protocol name(s): {', '.join(sorted(duplicates))}")
 
 
-def execute_unit(
-    unit: WorkUnit, protocols: Sequence[SchedulabilityTest]
-) -> UnitResult:
-    """Execute one work unit: generate the samples and apply every protocol.
+def _evaluate_samples(
+    unit: WorkUnit,
+    protocols: Sequence[SchedulabilityTest],
+    result: UnitResult,
+    on_accepted=None,
+) -> None:
+    """The one generation/analysis loop behind both unit runners.
 
-    The sample streams are spawned from the unit's own seed, reproducing
-    exactly the generators the serial sweep would have used for this point.
+    Draws the unit's samples (streams spawned from the unit's own seed,
+    reproducing exactly the generators the serial sweep would have used),
+    applies every protocol, and counts acceptances into ``result``.
+    ``on_accepted(test, verdict)`` is invoked for every schedulable
+    verdict — the simulate runner's validation hook.  Keeping this loop
+    single-sourced is what makes the two modes' acceptance counts
+    *identical by construction*, not merely by test.
     """
-    started = time.perf_counter()
     platform = Platform(unit.scenario.platform_size)
     generation_config = unit.scenario.generation_config()
-    result = UnitResult(
-        unit_id=unit.unit_id,
-        scenario_id=unit.scenario.scenario_id,
-        point_index=unit.point_index,
-        utilization=unit.utilization,
-        accepted={test.name: 0 for test in protocols},
-    )
     sample_rngs = spawn_rngs(ensure_rng(unit.seed), unit.samples_per_point)
     for sample_rng in sample_rngs:
         try:
@@ -138,17 +160,102 @@ def execute_unit(
         # CompiledTaskset via compile_taskset's memo.
         compile_taskset(taskset)
         for test in protocols:
-            if test.test(taskset, platform).schedulable:
-                result.accepted[test.name] += 1
+            verdict = test.test(taskset, platform)
+            if not verdict.schedulable:
+                continue
+            result.accepted[test.name] += 1
+            if on_accepted is not None:
+                on_accepted(test, verdict)
+
+
+def execute_unit(
+    unit: WorkUnit, protocols: Sequence[SchedulabilityTest]
+) -> UnitResult:
+    """Execute one work unit: generate the samples and apply every protocol.
+
+    The sample streams are spawned from the unit's own seed, reproducing
+    exactly the generators the serial sweep would have used for this point.
+    """
+    started = time.perf_counter()
+    result = UnitResult(
+        unit_id=unit.unit_id,
+        scenario_id=unit.scenario.scenario_id,
+        point_index=unit.point_index,
+        utilization=unit.utilization,
+        accepted={test.name: 0 for test in protocols},
+    )
+    _evaluate_samples(unit, protocols, result)
     result.elapsed_seconds = time.perf_counter() - started
     return result
 
 
+def execute_simulation_unit(
+    unit: WorkUnit,
+    protocols: Sequence[SchedulabilityTest],
+    sim_config: Optional[SimulationConfig] = None,
+) -> UnitResult:
+    """Execute one *validation* work unit: analyze, then simulate acceptances.
+
+    Sample generation and the analysis pass are identical to
+    :func:`execute_unit` (same seeds, same acceptance counts).  Every
+    analysis-accepted task set is additionally run through the DPCP-p
+    runtime simulator on the partition the analysis produced, and the
+    observed/bound response-time ratios, deadline misses, invariant
+    counters, and truncation outcomes are folded into one
+    :class:`~repro.experiments.metrics.ValidationRollup` per protocol.
+    """
+    sim_config = sim_config or SimulationConfig()
+    started = time.perf_counter()
+    result = UnitResult(
+        unit_id=unit.unit_id,
+        scenario_id=unit.scenario.scenario_id,
+        point_index=unit.point_index,
+        utilization=unit.utilization,
+        accepted={test.name: 0 for test in protocols},
+        simulation={test.name: ValidationRollup() for test in protocols},
+    )
+
+    def validate(test, verdict) -> None:
+        rollup = result.simulation[test.name]
+        outcome = validate_partition(verdict.partition, sim_config)
+        rollup.simulated += 1
+        if outcome.status == STATUS_TRUNCATED:
+            rollup.truncated += 1
+        elif outcome.status == STATUS_RULE_ERROR:
+            rollup.rule_failures += 1
+        rollup.mutual_exclusion_violations += outcome.mutual_exclusion_violations
+        rollup.processor_overlaps += outcome.processor_overlaps
+        rollup.deadline_misses += outcome.deadline_misses
+        rollup.jobs_finished += outcome.jobs_finished
+        rollup.events += outcome.events
+        for task_id, observed in sorted(outcome.observed_response_times.items()):
+            rollup.ratio.add(observed / verdict.task_analyses[task_id].wcrt)
+
+    _evaluate_samples(unit, protocols, result, on_accepted=validate)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+#: A unit runner: turns one work unit + protocol suite into a result.  Must
+#: be pickleable (top-level function or ``functools.partial`` of one) so the
+#: process pool can ship it to workers.
+UnitRunner = Callable[[WorkUnit, Sequence[SchedulabilityTest]], UnitResult]
+
+
+def plan_runner(plan: CampaignPlan) -> UnitRunner:
+    """The unit runner a plan's mode calls for (pickleable)."""
+    if plan.mode == MODE_SIMULATE:
+        return functools.partial(execute_simulation_unit, sim_config=plan.sim_config)
+    return execute_unit
+
+
 def _execute_chunk(
-    units: Sequence[WorkUnit], protocols: Sequence[SchedulabilityTest]
+    units: Sequence[WorkUnit],
+    protocols: Sequence[SchedulabilityTest],
+    runner: UnitRunner = execute_unit,
 ) -> List[UnitResult]:
     """Worker entry point: execute a chunk of units in one process call."""
-    return [execute_unit(unit, protocols) for unit in units]
+    return [runner(unit, protocols) for unit in units]
 
 
 def _chunk(units: List[WorkUnit], size: int) -> List[List[WorkUnit]]:
@@ -164,6 +271,7 @@ def execute_units(
     progress: Optional[UnitProgress] = None,
     chunk_size: Optional[int] = None,
     max_units: Optional[int] = None,
+    runner: UnitRunner = execute_unit,
 ) -> List[UnitResult]:
     """Execute ``units``, returning their results in input order.
 
@@ -171,7 +279,9 @@ def execute_units(
     restored instead of re-executed, and every newly completed unit is
     appended to the store immediately (resume safety).  ``max_units`` caps
     the number of *newly executed* units — useful for smoke tests and for
-    demonstrating interrupted runs.
+    demonstrating interrupted runs.  ``runner`` selects how one unit is
+    executed (analysis only, or analysis + validation simulation); it must
+    be pickleable for ``workers > 1``.
     """
     _require_unique_names(protocols)
     if chunk_size is not None and chunk_size < 1:
@@ -206,7 +316,7 @@ def execute_units(
 
     if workers <= 1 or len(pending) <= 1:
         for unit in pending:
-            finish(execute_unit(unit, protocols))
+            finish(runner(unit, protocols))
     else:
         # A chunk is checkpointed only when it returns as a whole, so the
         # auto size stays small: a killed run re-executes at most
@@ -217,7 +327,10 @@ def execute_units(
         pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
         futures = set()
         try:
-            futures = {pool.submit(_execute_chunk, chunk, protocols) for chunk in chunks}
+            futures = {
+                pool.submit(_execute_chunk, chunk, protocols, runner)
+                for chunk in chunks
+            }
             while futures:
                 finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in finished:
@@ -256,7 +369,12 @@ def execute_plan(
     chunk_size: Optional[int] = None,
     max_units: Optional[int] = None,
 ) -> List[UnitResult]:
-    """Execute every unit of a planned campaign (see :func:`execute_units`)."""
+    """Execute every unit of a planned campaign (see :func:`execute_units`).
+
+    The unit runner follows the plan's mode: simulate-mode plans run every
+    unit through :func:`execute_simulation_unit` with the plan's
+    :class:`~repro.sim.validation.SimulationConfig`.
+    """
     if protocols is None:
         protocols = build_protocols(
             plan.protocol_names, plan.config.max_path_signatures
@@ -269,6 +387,7 @@ def execute_plan(
         progress=progress,
         chunk_size=chunk_size,
         max_units=max_units,
+        runner=plan_runner(plan),
     )
 
 

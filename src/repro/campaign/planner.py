@@ -27,6 +27,7 @@ from ..analysis.lpp import LppTest
 from ..analysis.spin import SpinTest
 from ..experiments.runner import SweepConfig
 from ..experiments.scenarios import Scenario, figure2_scenarios, full_grid
+from ..sim.validation import SimulationConfig
 from ..utils.rng import ensure_rng, spawn_seeds
 
 #: Version of the store layout / manifest schema.  Bumped on incompatible
@@ -37,7 +38,25 @@ from ..utils.rng import ensure_rng, spawn_seeds
 #: Version 3: SPIN and LPP switched to the compiled engine kernels (PR 3) —
 #: the default baseline provenance changed (and SPIN dropped its dominated
 #: off-path solve), so results must not be mixed with version-2 stores.
-FORMAT_VERSION = 3
+#: Version 4: campaigns gained a mode (``analyze`` | ``simulate``); the
+#: manifest now carries ``mode`` (and, in simulate mode, the ``simulation``
+#: config), both of which enter the config hash.
+FORMAT_VERSION = 4
+
+#: Campaign modes: ``analyze`` evaluates the schedulability tests only (the
+#: Sec. VII acceptance-ratio experiments); ``simulate`` additionally runs
+#: every analysis-accepted task set through the DPCP-p runtime simulator
+#: and records observed-vs-bound tightness plus invariant counters.
+MODE_ANALYZE = "analyze"
+MODE_SIMULATE = "simulate"
+CAMPAIGN_MODES = (MODE_ANALYZE, MODE_SIMULATE)
+
+#: Protocols whose accepted partitions the runtime simulator can execute.
+#: The simulator implements the DPCP-p rules (Sec. III); the SPIN / LPP /
+#: FED-FP baselines schedule under different runtime protocols, so a
+#: simulate-mode campaign refuses them instead of "validating" a bound
+#: against the wrong runtime.
+SIMULATABLE_PROTOCOLS = ("DPCP-p-EP", "DPCP-p-EN")
 
 #: The single registry of the paper's protocol suite (Sec. VII-B): report
 #: name → factory taking the EP path-signature cap.  Everything else —
@@ -81,6 +100,10 @@ class CampaignPlan:
     config: SweepConfig
     protocol_names: List[str]
     units: List[WorkUnit] = field(default_factory=list)
+    #: ``analyze`` or ``simulate`` (see :data:`CAMPAIGN_MODES`).
+    mode: str = MODE_ANALYZE
+    #: Simulation configuration; set exactly when ``mode == "simulate"``.
+    sim_config: Optional[SimulationConfig] = None
 
     @property
     def unit_ids(self) -> List[str]:
@@ -118,12 +141,41 @@ def plan_campaign(
     scenarios: Sequence[Scenario],
     config: Optional[SweepConfig] = None,
     protocol_names: Optional[Sequence[str]] = None,
+    mode: str = MODE_ANALYZE,
+    sim_config: Optional[SimulationConfig] = None,
 ) -> CampaignPlan:
-    """Plan a campaign over ``scenarios`` (units in scenario-major order)."""
+    """Plan a campaign over ``scenarios`` (units in scenario-major order).
+
+    With ``mode="simulate"`` every protocol must be simulatable (see
+    :data:`SIMULATABLE_PROTOCOLS`), the default protocol suite shrinks to
+    those, and ``sim_config`` (defaulting to :class:`SimulationConfig`)
+    becomes part of the plan; with ``mode="analyze"`` a ``sim_config`` is
+    refused so manifests never carry dead configuration.
+    """
+    if mode not in CAMPAIGN_MODES:
+        raise ValueError(
+            f"unknown campaign mode {mode!r}; expected one of {CAMPAIGN_MODES}"
+        )
     config = config or SweepConfig()
-    names = list(protocol_names) if protocol_names is not None else list(KNOWN_PROTOCOLS)
+    if protocol_names is not None:
+        names = list(protocol_names)
+    elif mode == MODE_SIMULATE:
+        names = list(SIMULATABLE_PROTOCOLS)
+    else:
+        names = list(KNOWN_PROTOCOLS)
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate protocol names in {names}")
+    if mode == MODE_SIMULATE:
+        unsimulatable = [n for n in names if n not in SIMULATABLE_PROTOCOLS]
+        if unsimulatable:
+            raise ValueError(
+                f"protocol(s) {', '.join(unsimulatable)} cannot be simulated — "
+                f"the runtime simulator implements DPCP-p only "
+                f"(simulatable: {', '.join(SIMULATABLE_PROTOCOLS)})"
+            )
+        sim_config = sim_config or SimulationConfig()
+    elif sim_config is not None:
+        raise ValueError("sim_config is only meaningful with mode='simulate'")
     scenarios = list(scenarios)
     if not scenarios:
         raise ValueError("campaign needs at least one scenario")
@@ -136,7 +188,12 @@ def plan_campaign(
     for scenario in scenarios:
         units.extend(plan_scenario_units(scenario, config))
     return CampaignPlan(
-        scenarios=scenarios, config=config, protocol_names=names, units=units
+        scenarios=scenarios,
+        config=config,
+        protocol_names=names,
+        units=units,
+        mode=mode,
+        sim_config=sim_config,
     )
 
 
@@ -202,6 +259,8 @@ def config_hash(manifest: dict) -> str:
         "scenarios": manifest["scenarios"],
         "sweep_config": manifest["sweep_config"],
         "protocols": manifest["protocols"],
+        "mode": manifest["mode"],
+        "simulation": manifest.get("simulation"),
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -219,8 +278,11 @@ def campaign_manifest(plan: CampaignPlan) -> dict:
         "scenarios": [scenario_to_dict(s) for s in plan.scenarios],
         "sweep_config": config_to_dict(plan.config),
         "protocols": list(plan.protocol_names),
+        "mode": plan.mode,
         "total_units": len(plan.units),
     }
+    if plan.sim_config is not None:
+        manifest["simulation"] = plan.sim_config.to_dict()
     manifest["config_hash"] = config_hash(manifest)
     return manifest
 
@@ -229,7 +291,15 @@ def plan_from_manifest(manifest: dict) -> CampaignPlan:
     """Rebuild the full campaign plan (including unit seeds) from a manifest."""
     scenarios = [scenario_from_dict(d) for d in manifest["scenarios"]]
     config = config_from_dict(manifest["sweep_config"])
-    return plan_campaign(scenarios, config, manifest["protocols"])
+    mode = manifest["mode"]
+    sim_config = (
+        SimulationConfig.from_dict(manifest["simulation"])
+        if manifest.get("simulation") is not None
+        else None
+    )
+    return plan_campaign(
+        scenarios, config, manifest["protocols"], mode=mode, sim_config=sim_config
+    )
 
 
 # --------------------------------------------------------------------------- #

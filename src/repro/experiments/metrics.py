@@ -1,5 +1,6 @@
 """Metrics used by the paper's evaluation: acceptance ratio, dominance,
-outperformance.
+outperformance — plus the bound-tightness statistics of simulate-mode
+validation campaigns.
 
 *Acceptance ratio* — fraction of generated task sets deemed schedulable at a
 given utilization point.
@@ -11,13 +12,22 @@ two algorithms A and B as follows (footnote 1):
   sweep;
 * A **dominates** B if A's acceptance ratio is at least B's at every tested
   point and strictly higher at some point.
+
+*Bound tightness* — for an analysis-accepted task set that was additionally
+*simulated*, the per-task ratio ``observed max response time / analytical
+WCRT bound``.  Soundness requires every ratio ``<= 1``; how far below 1 the
+distribution sits measures the pessimism of the bound.
+:class:`TightnessStats` folds those ratios into a fixed-size summary
+(count / sum / min / max / histogram) that merges associatively, so
+campaign work units can be folded in any order into per-scenario and
+campaign-wide rollups.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 @dataclass
@@ -156,6 +166,168 @@ class PairwiseStatistics:
         if self.scenario_count == 0:
             return 0.0
         return self.outperformance[a][b] / self.scenario_count
+
+
+#: Number of equal-width histogram bins over the ratio range ``[0, 1]``.
+TIGHTNESS_BINS = 10
+
+
+@dataclass
+class TightnessStats:
+    """Foldable summary of an observed/bound ratio distribution.
+
+    ``histogram[i]`` counts ratios in ``[i/B, (i+1)/B)`` (the last bin is
+    closed at 1.0); ratios above ``1 + 1e-9`` — analytical bound
+    *violations* — are counted in :attr:`overflows` instead of a bin, so a
+    violation can never hide inside the top bin.  ``minimum``/``maximum``
+    are ``None`` while the distribution is empty.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    overflows: int = 0
+    histogram: List[int] = field(default_factory=lambda: [0] * TIGHTNESS_BINS)
+
+    def add(self, ratio: float) -> None:
+        """Fold one observed/bound ratio into the summary."""
+        if ratio < 0:
+            raise ValueError(f"ratio must be non-negative, got {ratio}")
+        self.count += 1
+        self.total += ratio
+        if self.minimum is None or ratio < self.minimum:
+            self.minimum = ratio
+        if self.maximum is None or ratio > self.maximum:
+            self.maximum = ratio
+        if ratio > 1.0 + 1e-9:
+            self.overflows += 1
+        else:
+            bin_index = min(TIGHTNESS_BINS - 1, int(ratio * TIGHTNESS_BINS))
+            self.histogram[bin_index] += 1
+
+    def merge(self, other: "TightnessStats") -> None:
+        """Fold another summary into this one (associative, any order)."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            if self.minimum is None or other.minimum < self.minimum:
+                self.minimum = other.minimum
+        if other.maximum is not None:
+            if self.maximum is None or other.maximum > self.maximum:
+                self.maximum = other.maximum
+        self.overflows += other.overflows
+        self.histogram = [
+            mine + theirs for mine, theirs in zip(self.histogram, other.histogram)
+        ]
+
+    @property
+    def mean(self) -> float:
+        """Mean ratio (NaN while the distribution is empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (stored in campaign unit records)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "overflows": self.overflows,
+            "histogram": list(self.histogram),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TightnessStats":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        histogram = [int(v) for v in data["histogram"]]
+        if len(histogram) != TIGHTNESS_BINS:
+            raise ValueError(
+                f"expected {TIGHTNESS_BINS} histogram bins, got {len(histogram)}"
+            )
+        return cls(
+            count=int(data["count"]),
+            total=float(data["total"]),
+            minimum=None if data["minimum"] is None else float(data["minimum"]),
+            maximum=None if data["maximum"] is None else float(data["maximum"]),
+            overflows=int(data["overflows"]),
+            histogram=histogram,
+        )
+
+
+@dataclass
+class ValidationRollup:
+    """Per-protocol fold of simulate-mode validation evidence.
+
+    One instance summarises any number of validation runs — a single work
+    unit's, a scenario's, or a whole campaign's — and merges associatively
+    like :class:`TightnessStats`.  ``simulated`` counts analysis-accepted
+    task sets that were run through the simulator; the invariant counters
+    and ``deadline_misses`` must stay zero for the analysis to be sound
+    (the ratio :attr:`TightnessStats.overflows` is the third soundness
+    signal).
+    """
+
+    simulated: int = 0
+    truncated: int = 0
+    rule_failures: int = 0
+    mutual_exclusion_violations: int = 0
+    processor_overlaps: int = 0
+    deadline_misses: int = 0
+    jobs_finished: int = 0
+    events: int = 0
+    ratio: TightnessStats = field(default_factory=TightnessStats)
+
+    def merge(self, other: "ValidationRollup") -> None:
+        """Fold another rollup into this one."""
+        self.simulated += other.simulated
+        self.truncated += other.truncated
+        self.rule_failures += other.rule_failures
+        self.mutual_exclusion_violations += other.mutual_exclusion_violations
+        self.processor_overlaps += other.processor_overlaps
+        self.deadline_misses += other.deadline_misses
+        self.jobs_finished += other.jobs_finished
+        self.events += other.events
+        self.ratio.merge(other.ratio)
+
+    @property
+    def violations(self) -> int:
+        """Total soundness violations: invariants, misses, bound overflows."""
+        return (
+            self.mutual_exclusion_violations
+            + self.processor_overlaps
+            + self.deadline_misses
+            + self.ratio.overflows
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (stored in campaign unit records)."""
+        return {
+            "simulated": self.simulated,
+            "truncated": self.truncated,
+            "rule_failures": self.rule_failures,
+            "mutual_exclusion_violations": self.mutual_exclusion_violations,
+            "processor_overlaps": self.processor_overlaps,
+            "deadline_misses": self.deadline_misses,
+            "jobs_finished": self.jobs_finished,
+            "events": self.events,
+            "ratio": self.ratio.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ValidationRollup":
+        """Rebuild a rollup from :meth:`to_dict` output."""
+        return cls(
+            simulated=int(data["simulated"]),
+            truncated=int(data["truncated"]),
+            rule_failures=int(data["rule_failures"]),
+            mutual_exclusion_violations=int(data["mutual_exclusion_violations"]),
+            processor_overlaps=int(data["processor_overlaps"]),
+            deadline_misses=int(data["deadline_misses"]),
+            jobs_finished=int(data["jobs_finished"]),
+            events=int(data["events"]),
+            ratio=TightnessStats.from_dict(data["ratio"]),
+        )
 
 
 def weighted_acceptance(curves: Sequence[SweepCurve]) -> Dict[str, float]:

@@ -26,15 +26,27 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..campaign.executor import UnitResult, assemble_sweep
-from ..campaign.planner import FORMAT_VERSION, CampaignPlan, plan_from_manifest
+from ..campaign.planner import (
+    FORMAT_VERSION,
+    MODE_ANALYZE,
+    MODE_SIMULATE,
+    CampaignPlan,
+    plan_from_manifest,
+)
 from ..campaign.store import CampaignStore
-from ..experiments.metrics import PairwiseStatistics, weighted_acceptance
+from ..experiments.metrics import (
+    PairwiseStatistics,
+    ValidationRollup,
+    weighted_acceptance,
+)
 from ..experiments.runner import SweepResult, pairwise_statistics
 from ..experiments.scenarios import Scenario
 
 #: Version of the aggregation-cache layout.  Bumped on incompatible changes
 #: so stale caches are rebuilt instead of misread.
-CACHE_FORMAT_VERSION = 1
+#: Version 2: reduced point slots gained the optional ``simulation`` block
+#: (simulate-mode validation evidence), which version-1 caches dropped.
+CACHE_FORMAT_VERSION = 2
 
 #: File name of the aggregation cache inside a store directory.
 CACHE_NAME = "report_cache.json"
@@ -63,6 +75,9 @@ class ScenarioReport:
     sweep: SweepResult
     points_done: int
     points_total: int
+    #: Per-protocol validation evidence folded over the scenario's stored
+    #: units (simulate-mode stores only; ``None`` in analyze mode).
+    validation: Optional[Dict[str, ValidationRollup]] = None
 
     @property
     def complete(self) -> bool:
@@ -88,6 +103,32 @@ class StoreAggregate:
     def protocols(self) -> List[str]:
         """Protocol names of the campaign (manifest order)."""
         return list(self.plan.protocol_names)
+
+    @property
+    def mode(self) -> str:
+        """Campaign mode (``analyze`` or ``simulate``)."""
+        return self.manifest.get("mode", MODE_ANALYZE)
+
+    def validation_totals(self) -> Dict[str, ValidationRollup]:
+        """Campaign-wide validation rollup per protocol (simulate mode).
+
+        Folded over the *complete* scenarios in plan order — matching every
+        other campaign-wide rollup — so the totals correspond exactly to
+        the per-scenario rows of the bound-tightness table.  Empty for
+        analyze-mode stores or while no scenario has completed.
+        """
+        totals: Dict[str, ValidationRollup] = {}
+        if self.mode != MODE_SIMULATE:
+            return totals
+        for report in self.complete_reports():
+            if not report.validation:
+                continue
+            for name in self.protocols:
+                rollup = report.validation.get(name)
+                if rollup is None:
+                    continue
+                totals.setdefault(name, ValidationRollup()).merge(rollup)
+        return totals
 
     @property
     def completed_units(self) -> int:
@@ -145,14 +186,26 @@ class StoreAggregate:
 
 
 def _reduce_record(record: dict) -> dict:
-    """Strip a store record down to the fields aggregation needs."""
-    return {
+    """Strip a store record down to the fields aggregation needs.
+
+    The optional ``simulation`` block is round-tripped through
+    :class:`~repro.experiments.metrics.ValidationRollup` so a malformed
+    cached slot raises here (invalidating the cache) instead of crashing
+    assembly later.
+    """
+    reduced = {
         "utilization": float(record["utilization"]),
         "accepted": {k: int(v) for k, v in record["accepted"].items()},
         "evaluated": int(record["evaluated"]),
         "generation_failures": int(record.get("generation_failures", 0)),
         "elapsed_seconds": float(record.get("elapsed_seconds", 0.0)),
     }
+    if record.get("simulation") is not None:
+        reduced["simulation"] = {
+            str(name): ValidationRollup.from_dict(data).to_dict()
+            for name, data in record["simulation"].items()
+        }
+    return reduced
 
 
 def _unit_result(scenario_id: str, point_index: int, data: dict) -> UnitResult:
@@ -322,6 +375,7 @@ class StoreAggregator:
             scenarios=[],
             cache_stats=stats,
         )
+        simulate_mode = manifest.get("mode", MODE_ANALYZE) == MODE_SIMULATE
         for scenario in plan.scenarios:
             slots = points.get(scenario.scenario_id, {})
             unit_results = [
@@ -329,12 +383,25 @@ class StoreAggregator:
                 for index, data in slots.items()
             ]
             sweep = assemble_sweep(scenario, plan.protocol_names, unit_results)
+            validation = None
+            if simulate_mode:
+                # Fold in point order so float sums are byte-deterministic
+                # regardless of completion/caching order.
+                validation = {
+                    name: ValidationRollup() for name in plan.protocol_names
+                }
+                for index in sorted(slots, key=int):
+                    simulation = slots[index].get("simulation") or {}
+                    for name, data in simulation.items():
+                        if name in validation:
+                            validation[name].merge(ValidationRollup.from_dict(data))
             aggregate.scenarios.append(
                 ScenarioReport(
                     scenario=scenario,
                     sweep=sweep,
                     points_done=len(unit_results),
                     points_total=expected.get(scenario.scenario_id, 0),
+                    validation=validation,
                 )
             )
             for result in unit_results:

@@ -12,10 +12,11 @@ import math
 from html import escape
 from typing import List, Optional, Sequence
 
-from ..experiments.metrics import PairwiseStatistics
+from ..campaign.planner import MODE_SIMULATE
+from ..experiments.metrics import PairwiseStatistics, ValidationRollup
 from .aggregate import StoreAggregate
 from .series import resolve_protocols
-from .svg import render_svg_chart
+from .svg import render_svg_chart, render_tightness_panel
 
 _STYLE = """\
 body { font-family: sans-serif; margin: 1.5em; color: #222; }
@@ -63,6 +64,65 @@ def _pairwise_table(stats: PairwiseStatistics, matrix: str, title: str) -> str:
     return "\n".join(rows)
 
 
+def _tightness_section(aggregate: StoreAggregate) -> List[str]:
+    """The simulate-mode bound-tightness section (table + SVG panel)."""
+    totals = aggregate.validation_totals()
+    parts = ["<h2>Bound tightness (observed / analytical WCRT)</h2>"]
+    if not totals:
+        parts.append(
+            '<p class="note">No scenario has completed yet — no validation '
+            "evidence.</p>"
+        )
+        return parts
+
+    def cells(rollup: ValidationRollup) -> str:
+        ratio = rollup.ratio
+        maximum = "n/a" if ratio.maximum is None else f"{ratio.maximum:.3f}"
+        return (
+            f'<td class="num">{rollup.simulated}</td>'
+            f'<td class="num">{ratio.count}</td>'
+            + _ratio_cell(ratio.mean)
+            + f'<td class="num">{maximum}</td>'
+            f'<td class="num">{rollup.deadline_misses}</td>'
+            f'<td class="num">'
+            f"{rollup.mutual_exclusion_violations + rollup.processor_overlaps}</td>"
+            f'<td class="num">{ratio.overflows}</td>'
+            f'<td class="num">{rollup.truncated}</td>'
+        )
+
+    parts.append("<table>")
+    parts.append(
+        "<tr><th>Scenario</th><th>Protocol</th><th>Simulated</th>"
+        "<th>Task ratios</th><th>Mean</th><th>Max</th><th>Misses</th>"
+        "<th>Invariant viol.</th><th>Bound viol.</th><th>Truncated</th></tr>"
+    )
+    for report in aggregate.complete_reports():
+        if not report.validation:
+            continue
+        for protocol in aggregate.protocols:
+            rollup = report.validation.get(protocol)
+            if rollup is None:
+                continue
+            parts.append(
+                f"<tr><td>{escape(report.scenario.scenario_id)}</td>"
+                f"<td>{escape(protocol)}</td>{cells(rollup)}</tr>"
+            )
+    for protocol in aggregate.protocols:
+        if protocol in totals:
+            parts.append(
+                f"<tr><th>all</th><th>{escape(protocol)}</th>"
+                f"{cells(totals[protocol])}</tr>"
+            )
+    parts.append("</table>")
+    panel_stats = {
+        protocol: totals[protocol].ratio
+        for protocol in aggregate.protocols
+        if protocol in totals
+    }
+    parts.append(f"<figure>{render_tightness_panel(panel_stats)}</figure>")
+    return parts
+
+
 def render_html_report(
     aggregate: StoreAggregate,
     protocols: Optional[Sequence[str]] = None,
@@ -93,6 +153,7 @@ def render_html_report(
     parts.append("<table>")
     summary_rows = [
         ("Config hash", manifest.get("config_hash", "")[:16] + "…"),
+        ("Mode", aggregate.mode),
         ("Protocols", ", ".join(aggregate.protocols)),
         (
             "Scenarios",
@@ -126,6 +187,10 @@ def render_html_report(
         parts.append("</tr><tr>")
         parts.extend(_ratio_cell(weighted.get(p, math.nan)) for p in selected)
         parts.append("</tr></table>")
+
+    # Bound tightness (simulate-mode validation campaigns).
+    if aggregate.mode == MODE_SIMULATE:
+        parts.extend(_tightness_section(aggregate))
 
     # Pairwise dominance / outperformance (Tables 2 and 3).
     stats = aggregate.pairwise()

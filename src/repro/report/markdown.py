@@ -10,7 +10,9 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
+from ..campaign.planner import MODE_SIMULATE
 from ..experiments.figures import render_ascii_plot, render_series_table
+from ..experiments.metrics import ValidationRollup
 from ..experiments.tables import render_dominance_table, render_outperformance_table
 from .aggregate import StoreAggregate
 from .series import resolve_protocols
@@ -30,6 +32,89 @@ def _markdown_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str
 def _ratio(value: float) -> str:
     """Format an acceptance ratio for a Markdown cell (``n/a`` for NaN)."""
     return "n/a" if math.isnan(value) else f"{value:.3f}"
+
+
+def _tightness_row(label: str, protocol: str, rollup: ValidationRollup) -> List[str]:
+    """One bound-tightness table row from a validation rollup."""
+    ratio = rollup.ratio
+    return [
+        label,
+        protocol,
+        str(rollup.simulated),
+        str(ratio.count),
+        _ratio(ratio.mean),
+        "n/a" if ratio.maximum is None else f"{ratio.maximum:.3f}",
+        str(rollup.deadline_misses),
+        str(rollup.mutual_exclusion_violations + rollup.processor_overlaps),
+        str(ratio.overflows),
+        str(rollup.truncated),
+    ]
+
+
+def render_tightness_section(aggregate: StoreAggregate) -> List[str]:
+    """The bound-tightness section of a simulate-mode report (Markdown).
+
+    One row per (complete scenario, protocol) plus per-protocol campaign
+    totals: how many accepted task sets were simulated, the observed/bound
+    ratio distribution (task-level mean and max), and the soundness
+    counters — deadline misses, runtime invariant violations, and ratio
+    overflows (observed > bound), all of which must be zero for the
+    analysis to be sound.
+    """
+    totals = aggregate.validation_totals()
+    parts: List[str] = ["## Bound tightness (observed / analytical WCRT)", ""]
+    if not totals:
+        parts.append("No scenario has completed yet — no validation evidence.")
+        parts.append("")
+        return parts
+    header = (
+        "Scenario",
+        "Protocol",
+        "Simulated",
+        "Task ratios",
+        "Mean",
+        "Max",
+        "Misses",
+        "Invariant viol.",
+        "Bound viol.",
+        "Truncated",
+    )
+    rows: List[List[str]] = []
+    for report in aggregate.complete_reports():
+        if not report.validation:
+            continue
+        for protocol in aggregate.protocols:
+            rollup = report.validation.get(protocol)
+            if rollup is None:
+                continue
+            rows.append(
+                _tightness_row(
+                    f"`{report.scenario.scenario_id}`", protocol, rollup
+                )
+            )
+    for protocol in aggregate.protocols:
+        if protocol in totals:
+            rows.append(_tightness_row("**all**", protocol, totals[protocol]))
+    parts.append(_markdown_table(header, rows))
+    parts.append("")
+    violations = sum(rollup.violations for rollup in totals.values())
+    failures = sum(rollup.rule_failures for rollup in totals.values())
+    simulated = sum(rollup.simulated for rollup in totals.values())
+    if violations == 0 and failures == 0:
+        parts.append(
+            f"Soundness: **no violations** over {simulated} simulated "
+            "runs — zero deadline misses, zero mutual-exclusion violations, "
+            "zero processor overlaps, zero observed>bound overflows."
+        )
+    else:
+        parts.append(
+            f"Soundness: **{violations} violation(s) and {failures} "
+            f"simulator rule failure(s)** over {simulated} simulated runs — "
+            "see the table above; this indicates an analysis or simulator "
+            "bug and must be investigated."
+        )
+    parts.append("")
+    return parts
 
 
 def render_markdown_report(
@@ -52,6 +137,7 @@ def render_markdown_report(
             ("", ""),
             [
                 ("Config hash", f"`{manifest.get('config_hash', '')[:16]}…`"),
+                ("Mode", aggregate.mode),
                 ("Protocols", ", ".join(aggregate.protocols)),
                 ("Scenarios", f"{len(complete)}/{len(aggregate.scenarios)} complete"),
                 (
@@ -83,6 +169,9 @@ def render_markdown_report(
             )
         )
         parts.append("")
+
+    if aggregate.mode == MODE_SIMULATE:
+        parts.extend(render_tightness_section(aggregate))
 
     stats = aggregate.pairwise()
     if stats is not None:

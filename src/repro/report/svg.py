@@ -6,14 +6,19 @@ other renderer — *gaps* where a utilization point realised no task set
 (NaN acceptance ratio splits the polyline instead of interpolating across
 the hole).  The markup is self-contained (no scripts, no external assets)
 so it can be embedded verbatim into the HTML report bundle.
+
+:func:`render_tightness_panel` renders the simulate-mode companion chart —
+the observed/bound ratio histogram per protocol — with the same
+zero-dependency, deterministic-markup constraints.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 from xml.sax.saxutils import escape
 
+from ..experiments.metrics import TIGHTNESS_BINS, TightnessStats
 from ..experiments.runner import SweepResult
 from .series import resolve_protocols, series_rows
 
@@ -166,5 +171,111 @@ def render_svg_chart(
             f'font-family="sans-serif">{escape(protocol)}</text>'
         )
 
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_tightness_panel(
+    stats: Dict[str, TightnessStats],
+    *,
+    width: int = 520,
+    height: int = 260,
+    title: str = "Observed / bound ratio distribution",
+) -> str:
+    """Render observed/bound ratio histograms as one ``<svg>`` bar panel.
+
+    ``stats`` maps protocol name → folded :class:`TightnessStats` (report
+    order is preserved).  Each of the ``TIGHTNESS_BINS`` ratio bins shows
+    one bar per protocol, normalised to each protocol's own total count so
+    protocols with different acceptance volumes stay comparable; empty
+    distributions render as an explanatory note instead of an empty frame.
+    """
+    protocols = [name for name, s in stats.items() if s.count]
+    margin_left, margin_right, margin_top = 42.0, 10.0, 22.0
+    margin_bottom = 30.0 + 14.0 * ((len(protocols) + 2) // 3)
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" class="tightness-panel">',
+        f"<title>{escape(title)}</title>",
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{_fmt(margin_left)}" y="14" font-size="11" '
+        f'font-family="sans-serif">{escape(title)}</text>',
+    ]
+    if not protocols:
+        parts.append(
+            f'<text x="{_fmt(width / 2)}" y="{_fmt(height / 2)}" font-size="10" '
+            f'text-anchor="middle" font-family="sans-serif">no simulated '
+            f"task sets yet</text>"
+        )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    peak = max(
+        max(count / s.count for count in s.histogram)
+        for s in (stats[name] for name in protocols)
+    )
+    peak = peak or 1.0
+
+    # Horizontal gridlines with fraction labels.
+    for tick in (0.0, 0.5, 1.0):
+        y = margin_top + (1.0 - tick) * plot_h
+        parts.append(
+            f'<line x1="{_fmt(margin_left)}" y1="{_fmt(y)}" '
+            f'x2="{_fmt(margin_left + plot_w)}" y2="{_fmt(y)}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(margin_left - 6)}" y="{_fmt(y + 3)}" font-size="9" '
+            f'text-anchor="end" font-family="sans-serif">{tick * peak:.2f}</text>'
+        )
+
+    bin_w = plot_w / TIGHTNESS_BINS
+    bar_w = (bin_w * 0.8) / len(protocols)
+    for bin_index in range(TIGHTNESS_BINS):
+        x0 = margin_left + bin_index * bin_w
+        parts.append(
+            f'<text x="{_fmt(x0 + bin_w / 2)}" y="{_fmt(margin_top + plot_h + 12)}" '
+            f'font-size="8" text-anchor="middle" font-family="sans-serif">'
+            f"{(bin_index + 1) / TIGHTNESS_BINS:.1f}</text>"
+        )
+        for slot, name in enumerate(protocols):
+            s = stats[name]
+            fraction = (s.histogram[bin_index] / s.count) / peak
+            bar_h = fraction * plot_h
+            if bar_h <= 0:
+                continue
+            color = CURVE_COLORS[slot % len(CURVE_COLORS)]
+            x = x0 + bin_w * 0.1 + slot * bar_w
+            parts.append(
+                f'<rect x="{_fmt(x)}" y="{_fmt(margin_top + plot_h - bar_h)}" '
+                f'width="{_fmt(bar_w)}" height="{_fmt(bar_h)}" fill="{color}" '
+                f'fill-opacity="0.85"/>'
+            )
+    parts.append(
+        f'<rect x="{_fmt(margin_left)}" y="{_fmt(margin_top)}" '
+        f'width="{_fmt(plot_w)}" height="{_fmt(plot_h)}" fill="none" '
+        f'stroke="#333333" stroke-width="1"/>'
+    )
+
+    # Legend (color swatch + name + max ratio marker text).
+    legend_top = margin_top + plot_h + 24.0
+    for slot, name in enumerate(protocols):
+        color = CURVE_COLORS[slot % len(CURVE_COLORS)]
+        column, line = slot % 3, slot // 3
+        x = margin_left + column * (plot_w / 3.0)
+        y = legend_top + 14.0 * line
+        maximum = stats[name].maximum
+        label = f"{name} (max {maximum:.3f})" if maximum is not None else name
+        parts.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y - 8)}" width="10" height="8" '
+            f'fill="{color}" fill-opacity="0.85"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x + 14)}" y="{_fmt(y)}" font-size="9" '
+            f'font-family="sans-serif">{escape(label)}</text>'
+        )
     parts.append("</svg>")
     return "\n".join(parts)

@@ -8,8 +8,21 @@ from .behaviors import (
     validate_behaviors,
 )
 from .paper_example import build_figure1_system, build_task_i, build_task_j
-from .simulator import DpcpPSimulator, SimulationError, simulate_periodic
+from .simulator import (
+    DpcpPSimulator,
+    SimulationError,
+    SimulationTruncated,
+    simulate_periodic,
+)
 from .trace import ExecutionInterval, JobRecord, RequestRecord, SimulationTrace
+from .validation import (
+    InvariantMonitor,
+    SimulationConfig,
+    ValidationOutcome,
+    capped_hyperperiod,
+    validate_partition,
+    validation_horizon,
+)
 
 __all__ = [
     "BehaviorError",
@@ -22,9 +35,16 @@ __all__ = [
     "build_task_j",
     "DpcpPSimulator",
     "SimulationError",
+    "SimulationTruncated",
     "simulate_periodic",
     "ExecutionInterval",
     "JobRecord",
     "RequestRecord",
     "SimulationTrace",
+    "InvariantMonitor",
+    "SimulationConfig",
+    "ValidationOutcome",
+    "capped_hyperperiod",
+    "validate_partition",
+    "validation_horizon",
 ]

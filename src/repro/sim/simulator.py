@@ -13,12 +13,32 @@ under federated scheduling with the DPCP-p locking rules:
 The simulator is intended for validation (Lemma 1, mutual exclusion,
 analysis-bound checks) and for reproducing illustrative schedules such as
 Fig. 1 — it is not meant to be cycle-accurate.
+
+**Tie breaking.**  Event times are compared up to the absolute tolerance
+``_EPS`` (1e-9 µs): events within ``_EPS`` of the current time are treated
+as *simultaneous* and are all handled before processors are rescheduled, in
+the order they were pushed (a monotonically increasing event counter breaks
+heap ties).  Consequently a vertex that completes exactly when another is
+released never observes a half-updated queue state, and zero-length
+segments are skipped without advancing time.  The same ``_EPS`` governs
+interval-overlap checks in :mod:`repro.sim.trace` — sub-``_EPS`` overlaps
+are rounding noise, not violations.
+
+**Truncation semantics.**  :meth:`DpcpPSimulator.run` accepts an optional
+event budget and wall-clock budget.  When either is exhausted the run stops
+*between* events and raises :class:`SimulationTruncated` instead of looping
+forever on a pathological workload.  The simulator state is left intact and
+consistent: every interval recorded so far is complete, jobs whose last
+vertex finished have a ``finish_time``, and unfinished jobs simply report
+``response_time is None`` — so a truncated trace still yields sound
+*lower* bounds on observed response times (never inflated ones).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,9 +49,36 @@ from .trace import ExecutionInterval, JobRecord, RequestRecord, SimulationTrace
 
 _EPS = 1e-9
 
+#: How many events are processed between wall-clock budget checks (the
+#: clock read is kept off the per-event hot path).
+_WALL_CLOCK_CHECK_INTERVAL = 512
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulator reaches an inconsistent state."""
+
+
+class SimulationTruncated(RuntimeError):
+    """Raised by :meth:`DpcpPSimulator.run` when a budget is exhausted.
+
+    Attributes
+    ----------
+    reason:
+        ``"event_budget"`` or ``"wall_clock_budget"``.
+    events_processed:
+        Number of events handled before the run was cut.
+    simulated_time:
+        Simulation clock value at the cut.
+    """
+
+    def __init__(self, reason: str, events_processed: int, simulated_time: float) -> None:
+        super().__init__(
+            f"simulation truncated ({reason}) after {events_processed} events "
+            f"at t={simulated_time:.3f}"
+        )
+        self.reason = reason
+        self.events_processed = events_processed
+        self.simulated_time = simulated_time
 
 
 # --------------------------------------------------------------------------- #
@@ -129,14 +176,30 @@ class DpcpPSimulator:
     behaviors:
         Optional ``task id -> {vertex -> VertexBehavior}``; derived
         automatically (requests spread evenly) when omitted.
+    record_trace:
+        When ``False``, execution intervals and request records are *not*
+        retained (the memory hog for long horizons); job records are always
+        kept, so response times and deadline checks still work.  Pair with
+        ``interval_observer`` for online invariant checking.
+    interval_observer:
+        Optional callable receiving every completed
+        :class:`~repro.sim.trace.ExecutionInterval` as it is recorded
+        (whether or not the trace retains it) — the hook used by
+        :class:`repro.sim.validation.InvariantMonitor`.
     """
 
     def __init__(
         self,
         partition: PartitionedSystem,
         behaviors: Optional[Dict[int, Dict[int, VertexBehavior]]] = None,
+        *,
+        record_trace: bool = True,
+        interval_observer=None,
     ) -> None:
         self.partition = partition
+        self.record_trace = bool(record_trace)
+        self.interval_observer = interval_observer
+        self.events_processed = 0
         self.taskset: TaskSet = partition.taskset
         self.behaviors: Dict[int, Dict[int, VertexBehavior]] = {}
         for task in self.taskset:
@@ -214,20 +277,55 @@ class DpcpPSimulator:
                 self.release_job(task.task_id, release)
                 release += task.period
 
-    def run(self, until: Optional[float] = None) -> SimulationTrace:
-        """Run the simulation until the event queue drains (or ``until``)."""
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        max_events: Optional[int] = None,
+        wall_clock_seconds: Optional[float] = None,
+    ) -> SimulationTrace:
+        """Run the simulation until the event queue drains (or ``until``).
+
+        ``max_events`` and ``wall_clock_seconds`` bound the run; when either
+        budget is exhausted the run stops between events and raises
+        :class:`SimulationTruncated` (the trace recorded so far stays valid
+        and reachable through :attr:`trace`).  The wall clock is checked
+        every ``_WALL_CLOCK_CHECK_INTERVAL`` events to keep the clock read
+        off the hot path, so the budget overshoots by at most that many
+        events.
+        """
+        if max_events is not None and max_events < 0:
+            raise ValueError(f"max_events must be non-negative, got {max_events}")
+        if wall_clock_seconds is not None and wall_clock_seconds < 0:
+            raise ValueError(
+                f"wall_clock_seconds must be non-negative, got {wall_clock_seconds}"
+            )
+        started = time.monotonic() if wall_clock_seconds is not None else 0.0
+        next_clock_check = self.events_processed + _WALL_CLOCK_CHECK_INTERVAL
         while self._events:
             if until is not None and self._events[0][0] > until + _EPS:
                 break
-            time, _, kind, payload = heapq.heappop(self._events)
-            if time < self.now - _EPS:
+            if max_events is not None and self.events_processed >= max_events:
+                raise SimulationTruncated(
+                    "event_budget", self.events_processed, self.now
+                )
+            if wall_clock_seconds is not None and self.events_processed >= next_clock_check:
+                next_clock_check = self.events_processed + _WALL_CLOCK_CHECK_INTERVAL
+                if time.monotonic() - started > wall_clock_seconds:
+                    raise SimulationTruncated(
+                        "wall_clock_budget", self.events_processed, self.now
+                    )
+            event_time, _, kind, payload = heapq.heappop(self._events)
+            if event_time < self.now - _EPS:
                 raise SimulationError("event time went backwards")
-            self.now = max(self.now, time)
+            self.now = max(self.now, event_time)
             self._handle_event(kind, payload)
+            self.events_processed += 1
             # Process all simultaneous events before rescheduling.
             while self._events and abs(self._events[0][0] - self.now) <= _EPS:
                 _, _, next_kind, next_payload = heapq.heappop(self._events)
                 self._handle_event(next_kind, next_payload)
+                self.events_processed += 1
             self._schedule_processors()
         return self.trace
 
@@ -338,7 +436,8 @@ class DpcpPSimulator:
             priority=instance.priority,
             issue_time=self.now,
         )
-        self.trace.requests.append(record)
+        if self.record_trace:
+            self.trace.requests.append(record)
         request = _Request(
             task_id=instance.task_id,
             job_id=instance.job_id,
@@ -559,32 +658,32 @@ class DpcpPSimulator:
     ) -> None:
         if chunk.kind == "vertex":
             instance = chunk.vertex
-            self.trace.add_interval(
-                ExecutionInterval(
-                    processor=processor,
-                    start=chunk.start_time,
-                    end=end_time,
-                    task_id=instance.task_id,
-                    job_id=instance.job_id,
-                    vertex=instance.vertex,
-                    resource=chunk.resource,
-                    is_agent=False,
-                )
+            interval = ExecutionInterval(
+                processor=processor,
+                start=chunk.start_time,
+                end=end_time,
+                task_id=instance.task_id,
+                job_id=instance.job_id,
+                vertex=instance.vertex,
+                resource=chunk.resource,
+                is_agent=False,
             )
         else:
             request = chunk.request
-            self.trace.add_interval(
-                ExecutionInterval(
-                    processor=processor,
-                    start=chunk.start_time,
-                    end=end_time,
-                    task_id=request.task_id,
-                    job_id=request.job_id,
-                    vertex=request.vertex,
-                    resource=request.resource,
-                    is_agent=True,
-                )
+            interval = ExecutionInterval(
+                processor=processor,
+                start=chunk.start_time,
+                end=end_time,
+                task_id=request.task_id,
+                job_id=request.job_id,
+                vertex=request.vertex,
+                resource=request.resource,
+                is_agent=True,
             )
+        if self.interval_observer is not None and end_time - chunk.start_time > _EPS:
+            self.interval_observer(interval)
+        if self.record_trace:
+            self.trace.add_interval(interval)
 
 
 def simulate_periodic(

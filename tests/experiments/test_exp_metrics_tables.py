@@ -5,8 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.metrics import (
+    TIGHTNESS_BINS,
     PairwiseStatistics,
     SweepCurve,
+    TightnessStats,
+    ValidationRollup,
     dominates,
     outperforms,
     weighted_acceptance,
@@ -167,3 +170,72 @@ def test_weighted_acceptance_is_nan_without_realised_samples():
     empty.add_point(1.0, accepted=0, sampled=0, generation_failures=3)
     aggregated = weighted_acceptance([empty])
     assert math.isnan(aggregated["A"])
+
+
+# --------------------------------------------------------------------------- #
+# Bound-tightness statistics (simulate-mode campaigns)
+# --------------------------------------------------------------------------- #
+def test_tightness_stats_fold_and_histogram():
+    stats = TightnessStats()
+    for ratio in (0.0, 0.05, 0.55, 1.0):
+        stats.add(ratio)
+    assert stats.count == 4
+    assert stats.minimum == 0.0 and stats.maximum == 1.0
+    assert stats.mean == pytest.approx(0.4)
+    assert stats.histogram[0] == 2  # 0.0 and 0.05
+    assert stats.histogram[5] == 1  # 0.55
+    assert stats.histogram[-1] == 1  # 1.0 closes the top bin
+    assert stats.overflows == 0
+    with pytest.raises(ValueError):
+        stats.add(-0.1)
+
+
+def test_tightness_stats_count_bound_violations_as_overflows():
+    stats = TightnessStats()
+    stats.add(1.2)
+    assert stats.overflows == 1
+    assert sum(stats.histogram) == 0  # a violation never hides in a bin
+    assert stats.maximum == 1.2
+
+
+def test_tightness_stats_merge_is_order_independent():
+    import math
+
+    a, b = TightnessStats(), TightnessStats()
+    for ratio in (0.1, 0.9):
+        a.add(ratio)
+    for ratio in (0.5, 1.3):
+        b.add(ratio)
+    ab = TightnessStats.from_dict(a.to_dict())
+    ab.merge(b)
+    ba = TightnessStats.from_dict(b.to_dict())
+    ba.merge(a)
+    assert ab.to_dict() == ba.to_dict()
+    assert ab.count == 4 and ab.overflows == 1
+    assert ab.minimum == 0.1 and ab.maximum == 1.3
+    # Empty distributions merge as identities.
+    empty = TightnessStats()
+    empty.merge(TightnessStats())
+    assert empty.count == 0 and empty.minimum is None
+    assert math.isnan(empty.mean)
+
+
+def test_tightness_stats_round_trip_and_bin_guard():
+    stats = TightnessStats()
+    stats.add(0.42)
+    assert TightnessStats.from_dict(stats.to_dict()).to_dict() == stats.to_dict()
+    bad = stats.to_dict()
+    bad["histogram"] = [0] * (TIGHTNESS_BINS - 1)
+    with pytest.raises(ValueError):
+        TightnessStats.from_dict(bad)
+
+
+def test_validation_rollup_merges_and_round_trips():
+    first = ValidationRollup(simulated=2, truncated=1, deadline_misses=0)
+    first.ratio.add(0.5)
+    second = ValidationRollup(simulated=1, mutual_exclusion_violations=1)
+    second.ratio.add(1.5)
+    first.merge(second)
+    assert first.simulated == 3 and first.truncated == 1
+    assert first.violations == 2  # one ME violation + one ratio overflow
+    assert ValidationRollup.from_dict(first.to_dict()).to_dict() == first.to_dict()

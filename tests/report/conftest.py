@@ -23,6 +23,22 @@ CAMPAIGN_FLAGS = [
 #: 2 scenarios x 2 utilization points.
 CAMPAIGN_UNITS = 4
 
+#: Flags of the deterministic *simulate-mode* fixture campaign: all four
+#: Fig. 2 scenarios (x 4 utilization points) on tiny DAGs, the DPCP-p
+#: protocol pair, and an event budget small enough that one run truncates
+#: (exercising that path deterministically — wall-clock budgets would not
+#: be reproducible).
+SIM_CAMPAIGN_FLAGS = [
+    "--mode", "simulate",
+    "--grid", "fig2",
+    "--samples", "2",
+    "--step", "0.25",
+    "--vertices", "5,8",
+    "--seed", "2020",
+    "--sim-max-events", "150000",
+    "--quiet",
+]
+
 
 def _run_campaign(store: str, *extra: str) -> int:
     return cli.main(["run", "--store", store, *CAMPAIGN_FLAGS, *extra])
@@ -43,4 +59,16 @@ def finished_store(tmp_path_factory) -> str:
     """
     store = str(tmp_path_factory.mktemp("report-fixture") / "store")
     assert _run_campaign(store) == 0
+    return store
+
+
+@pytest.fixture(scope="session")
+def simulate_store(tmp_path_factory) -> str:
+    """A completed simulate-mode fixture campaign (session-scoped, read-only).
+
+    Four scenarios, fixed seed, event-budget truncation only — the store
+    (and everything rendered from it) is byte-deterministic.
+    """
+    store = str(tmp_path_factory.mktemp("simulate-fixture") / "store")
+    assert cli.main(["run", "--store", store, *SIM_CAMPAIGN_FLAGS]) == 0
     return store

@@ -1,0 +1,97 @@
+"""Trace edge cases: empty traces, overlap detection, horizon-cut jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import ExecutionInterval, JobRecord, SimulationTrace
+
+
+def _interval(processor, start, end, resource=None, task_id=0):
+    return ExecutionInterval(
+        processor=processor, start=start, end=end,
+        task_id=task_id, job_id=0, vertex=0, resource=resource,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Empty trace
+# --------------------------------------------------------------------------- #
+def test_empty_trace_is_well_behaved_everywhere():
+    trace = SimulationTrace()
+    assert trace.response_times() == {}
+    assert trace.worst_response_time(0) is None
+    assert trace.deadline_misses() == []
+    assert trace.intervals_on(0) == []
+    assert trace.check_all() == []
+    assert trace.render_gantt() == "(empty trace)"
+
+
+def test_zero_length_intervals_are_dropped_on_add():
+    trace = SimulationTrace()
+    trace.add_interval(_interval(0, 1.0, 1.0))
+    trace.add_interval(_interval(0, 1.0, 1.0 + 1e-12))
+    assert trace.intervals == []
+
+
+# --------------------------------------------------------------------------- #
+# Overlap detection
+# --------------------------------------------------------------------------- #
+def test_overlapping_intervals_on_one_processor_are_rejected():
+    trace = SimulationTrace()
+    trace.add_interval(_interval(0, 0.0, 2.0))
+    trace.add_interval(_interval(0, 1.5, 3.0))
+    problems = trace.check_processor_exclusivity()
+    assert len(problems) == 1
+    assert "processor 0" in problems[0]
+    # The overall check surfaces it too.
+    assert trace.check_all() == problems
+
+
+def test_overlapping_critical_sections_are_rejected_across_processors():
+    trace = SimulationTrace()
+    trace.add_interval(_interval(0, 0.0, 2.0, resource=3))
+    trace.add_interval(_interval(1, 1.0, 3.0, resource=3))
+    problems = trace.check_mutual_exclusion()
+    assert len(problems) == 1
+    assert "resource 3" in problems[0]
+
+
+def test_touching_intervals_are_not_overlaps():
+    trace = SimulationTrace()
+    trace.add_interval(_interval(0, 0.0, 2.0, resource=3))
+    trace.add_interval(_interval(0, 2.0, 4.0, resource=3))
+    assert trace.check_processor_exclusivity() == []
+    assert trace.check_mutual_exclusion() == []
+
+
+# --------------------------------------------------------------------------- #
+# Jobs cut by the horizon
+# --------------------------------------------------------------------------- #
+def test_unfinished_job_reports_no_response_time_or_deadline_verdict():
+    cut = JobRecord(task_id=0, job_id=0, release_time=10.0, absolute_deadline=20.0)
+    assert cut.finish_time is None
+    assert cut.response_time is None
+    assert cut.deadline_met is None
+
+
+def test_horizon_cut_jobs_are_excluded_from_response_statistics():
+    trace = SimulationTrace()
+    finished = JobRecord(task_id=0, job_id=0, release_time=0.0,
+                         absolute_deadline=10.0, finish_time=6.0)
+    cut = JobRecord(task_id=0, job_id=1, release_time=8.0, absolute_deadline=18.0)
+    late = JobRecord(task_id=1, job_id=0, release_time=0.0,
+                     absolute_deadline=5.0, finish_time=7.0)
+    for record in (finished, cut, late):
+        trace.add_job(record)
+    assert trace.response_times() == {0: [6.0], 1: [7.0]}
+    assert trace.worst_response_time(0) == pytest.approx(6.0)
+    # Only *finished* jobs can miss a deadline; the cut job is not a miss.
+    assert trace.deadline_misses() == [late]
+
+
+def test_worst_response_time_is_none_when_every_job_was_cut():
+    trace = SimulationTrace()
+    trace.add_job(JobRecord(task_id=0, job_id=0, release_time=0.0,
+                            absolute_deadline=10.0))
+    assert trace.worst_response_time(0) is None

@@ -1,0 +1,67 @@
+"""Tier-1 enforcement of the docs-site gate (``tools/check_docs.py``).
+
+CI runs the checker in its docs job; this test keeps the same bar inside
+the regular suite — a broken relative link or an unmapped package fails
+fast locally too.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import check_docs  # noqa: E402  (needs the tools/ path above)
+
+
+def _repo_stub(tmp_path, architecture_text):
+    """A minimal fake repo: one package, one docs/architecture.md."""
+    package = tmp_path / "src" / "repro" / "model"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "architecture.md").write_text(architecture_text)
+    return tmp_path
+
+
+def test_the_repository_docs_pass_the_gate(capsys):
+    assert check_docs.main(["--repo", REPO_ROOT]) == 0, (
+        "docs gate failed — run 'python tools/check_docs.py' for the list"
+    )
+    assert "PASSED" in capsys.readouterr().out
+
+
+def test_broken_relative_link_fails(tmp_path, capsys):
+    repo = _repo_stub(tmp_path, "`repro.model` is the model.\n")
+    (repo / "README.md").write_text("See [missing](docs/nope.md).\n")
+    assert check_docs.main(["--repo", str(repo)]) == 1
+    out = capsys.readouterr().out
+    assert "broken link -> docs/nope.md" in out
+
+
+def test_resolving_links_and_anchors_pass(tmp_path, capsys):
+    repo = _repo_stub(tmp_path, "`repro.model` is the model.\n")
+    (repo / "README.md").write_text(
+        "[arch](docs/architecture.md) [anchor](docs/architecture.md#x) "
+        "[web](https://example.org) [self](#local) [mail](mailto:a@b.c)\n"
+        "```\n[code](not/a/link.md)\n```\n"
+    )
+    assert check_docs.main(["--repo", str(repo)]) == 0
+    assert "0 problem(s)" in capsys.readouterr().out
+
+
+def test_unmapped_package_fails(tmp_path, capsys):
+    repo = _repo_stub(tmp_path, "an architecture page naming nothing\n")
+    assert check_docs.main(["--repo", str(repo)]) == 1
+    assert "'repro.model' is not mentioned" in capsys.readouterr().out
+
+
+def test_missing_architecture_page_fails(tmp_path, capsys):
+    repo = _repo_stub(tmp_path, "`repro.model`\n")
+    os.remove(repo / "docs" / "architecture.md")
+    (repo / "docs" / "other.md").write_text("hi\n")
+    assert check_docs.main(["--repo", str(repo)]) == 1
+    assert "missing docs/architecture.md" in capsys.readouterr().out

@@ -19,9 +19,11 @@ import check_docstrings  # noqa: E402  (needs the tools/ path above)
 
 
 def test_public_api_docstring_coverage_meets_the_bar(capsys):
+    # Coverage is 100%; the bar is pinned there so it cannot regress
+    # silently (matching the CI docs job).
     source = os.path.join(REPO_ROOT, "src", "repro")
-    assert check_docstrings.main([source, "--fail-under", "95"]) == 0, (
-        "public docstring coverage dropped below 95% — run "
+    assert check_docstrings.main([source, "--fail-under", "100"]) == 0, (
+        "public docstring coverage dropped below 100% — run "
         "'python tools/check_docstrings.py src/repro' for the missing list"
     )
 

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Docs-site gate: architecture coverage and Markdown link integrity.
+
+Two checks, zero dependencies, CI-friendly exit codes::
+
+    python tools/check_docs.py [--repo DIR]
+
+1. **Architecture coverage** — every package under ``src/repro/`` (a
+   directory with an ``__init__.py``) must be mentioned as
+   ``repro.<name>`` in ``docs/architecture.md``, so the module map cannot
+   silently rot as subsystems are added.
+2. **Link integrity** — every relative Markdown link in every *tracked*
+   ``.md`` file (``git ls-files``, falling back to a filesystem walk) must
+   resolve to an existing file or directory.  External links
+   (``http(s)://``, ``mailto:``) and pure-anchor links (``#...``) are
+   skipped; fenced code blocks are stripped before scanning so code
+   snippets cannot produce false positives.
+
+Exit codes: 0 = all good, 1 = problems found (listed), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from typing import List
+
+#: Inline Markdown links/images: ``[text](target)`` / ``![alt](target)``.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks (``` ... ``` or ~~~ ... ~~~), stripped before scanning.
+FENCE_PATTERN = re.compile(r"^(```|~~~).*?^\1[^\n]*$", re.MULTILINE | re.DOTALL)
+
+
+def tracked_markdown_files(repo: str) -> List[str]:
+    """Repo-relative paths of every tracked ``.md`` file (sorted).
+
+    Uses ``git ls-files`` when the repo is a git checkout; otherwise walks
+    the tree, skipping hidden directories and common scratch dirs.
+    """
+    try:
+        output = subprocess.run(
+            ["git", "ls-files", "*.md"],
+            cwd=repo,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        files = [line for line in output.splitlines() if line.strip()]
+        if files:
+            return sorted(files)
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    found: List[str] = []
+    for root, dirs, names in os.walk(repo):
+        dirs[:] = sorted(
+            d for d in dirs
+            if not d.startswith(".") and d not in ("__pycache__", "runs", "node_modules")
+        )
+        for name in sorted(names):
+            if name.endswith(".md"):
+                found.append(os.path.relpath(os.path.join(root, name), repo))
+    return sorted(found)
+
+
+def check_links(repo: str, markdown_files: List[str]) -> List[str]:
+    """Relative links that do not resolve, as ``file: target`` messages."""
+    problems: List[str] = []
+    for relpath in markdown_files:
+        path = os.path.join(repo, relpath)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            problems.append(f"{relpath}: unreadable ({error})")
+            continue
+        text = FENCE_PATTERN.sub("", text)
+        base = os.path.dirname(path)
+        for match in LINK_PATTERN.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                problems.append(f"{relpath}: broken link -> {match.group(1)}")
+    return problems
+
+
+def check_architecture_coverage(repo: str) -> List[str]:
+    """Packages under ``src/repro`` missing from ``docs/architecture.md``."""
+    packages_dir = os.path.join(repo, "src", "repro")
+    architecture = os.path.join(repo, "docs", "architecture.md")
+    if not os.path.isdir(packages_dir):
+        return [f"missing source tree: {os.path.relpath(packages_dir, repo)}"]
+    if not os.path.isfile(architecture):
+        return ["missing docs/architecture.md (the module map)"]
+    with open(architecture, encoding="utf-8") as handle:
+        text = handle.read()
+    problems: List[str] = []
+    for name in sorted(os.listdir(packages_dir)):
+        package = os.path.join(packages_dir, name)
+        if not os.path.isdir(package):
+            continue
+        if not os.path.isfile(os.path.join(package, "__init__.py")):
+            continue
+        if f"repro.{name}" not in text:
+            problems.append(
+                f"docs/architecture.md: package 'repro.{name}' is not mentioned"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the parent of tools/)",
+    )
+    args = parser.parse_args(argv)
+    repo = os.path.abspath(args.repo)
+    if not os.path.isdir(repo):
+        print(f"error: no such directory {repo!r}", file=sys.stderr)
+        return 2
+
+    markdown_files = tracked_markdown_files(repo)
+    if not markdown_files:
+        print("error: no Markdown files found", file=sys.stderr)
+        return 2
+    problems = check_architecture_coverage(repo) + check_links(repo, markdown_files)
+    if problems:
+        print("documentation problems:")
+        for problem in problems:
+            print(f"  {problem}")
+    print(
+        f"docs check: {len(markdown_files)} Markdown files, "
+        f"{len(problems)} problem(s) — {'FAILED' if problems else 'PASSED'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
