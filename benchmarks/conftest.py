@@ -10,6 +10,10 @@ EXPERIMENTS.md):
 * ``REPRO_BENCH_VERTEX_MAX``   — maximum DAG size (default 30, paper uses 100)
 * ``REPRO_BENCH_GRID_STRIDE``  — keep every k-th scenario of the 216-scenario
   grid for the table benchmarks (default 9 → 24 scenarios; 1 = full grid)
+* ``REPRO_BENCH_TELEMETRY``    — ``1`` keeps a :mod:`repro.obs.telemetry`
+  session active for the whole benchmark run, so the instrumented hot
+  paths actually record (how ``record_bench.py`` measures the telemetry
+  overhead reported in ``BENCH_PR6.json``)
 
 Rendered tables and CSV series are written to ``benchmarks/results/``.
 """
@@ -49,6 +53,25 @@ def bench_settings():
         "grid_stride": env_int("REPRO_BENCH_GRID_STRIDE", 9),
         "seed": env_int("REPRO_BENCH_SEED", 20200706),
     }
+
+
+@pytest.fixture(scope="session", autouse=True)
+def telemetry_session():
+    """Active telemetry session for the run when ``REPRO_BENCH_TELEMETRY=1``.
+
+    The instrumentation points in the analysis kernels are no-ops unless a
+    session is active, so the default benchmark run measures the disabled
+    fast path; setting the variable measures the enabled path instead.
+    ``record_bench.py`` runs the kernel benchmarks both ways and reports
+    the difference as ``telemetry_overhead``.
+    """
+    if os.environ.get("REPRO_BENCH_TELEMETRY") != "1":
+        yield None
+        return
+    from repro.obs import telemetry
+
+    with telemetry.session() as bundle:
+        yield bundle
 
 
 @pytest.fixture(scope="session")

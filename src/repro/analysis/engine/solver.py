@@ -27,6 +27,9 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from ...obs import telemetry as _obs_telemetry
+from ...obs.telemetry import active as _active_telemetry
+
 #: Default absolute convergence tolerance, in microseconds.
 DEFAULT_TOLERANCE = 1e-6
 
@@ -103,26 +106,57 @@ def solve_scalar(
     start value — exceeded ``divergence_bound``, or the recurrence produced
     NaN), or :data:`NO_CONVERGENCE` (``max_iterations`` exhausted without
     meeting the tolerance).  ``value`` is ``None`` for both failure statuses.
+
+    When a :mod:`repro.obs.telemetry` session is active, each call adds its
+    outcome and iteration count to the ``solver.scalar.*`` counters and the
+    ``solver.iterations`` histogram; with no session the cost is one global
+    read per call.
     """
+    value, status, iterations = _solve_scalar(
+        recurrence, start, divergence_bound, tolerance, max_iterations
+    )
+    # This runs O(100) times per schedulability test, so the recording cost
+    # must stay near the ≤2% overhead budget's noise floor: one read of the
+    # session hook (the active bundle's preloaded ``list.append``) and one
+    # GC-invisible encoded int, tallied lazily by ScalarSolveStats.fold_into.
+    append = _obs_telemetry._SOLVE_APPEND
+    if append is not None:
+        if status is CONVERGED:
+            append(iterations << 2)
+        elif status is DIVERGED:
+            append(iterations << 2 | 1)
+        else:
+            append(iterations << 2 | 2)
+    return value, status
+
+
+def _solve_scalar(
+    recurrence: Callable[[float], float],
+    start: float,
+    divergence_bound: float,
+    tolerance: float,
+    max_iterations: int,
+) -> Tuple[Optional[float], str, int]:
+    """:func:`solve_scalar` core; additionally returns the iteration count."""
     if math.isinf(start) or math.isnan(start):
-        return None, DIVERGED
+        return None, DIVERGED, 0
     current = float(start)
     if current > divergence_bound:
-        return None, DIVERGED
-    for _ in range(max_iterations):
+        return None, DIVERGED, 0
+    for iteration in range(1, max_iterations + 1):
         nxt = float(recurrence(current))
         if math.isnan(nxt):
-            return None, DIVERGED
+            return None, DIVERGED, iteration
         if nxt < current - tolerance:
             # A monotone recurrence should never decrease; clamp defensively
             # so that rounding noise cannot cause oscillation.
             nxt = current
         if nxt > divergence_bound:
-            return None, DIVERGED
+            return None, DIVERGED, iteration
         if abs(nxt - current) <= tolerance:
-            return nxt, CONVERGED
+            return nxt, CONVERGED, iteration
         current = nxt
-    return None, NO_CONVERGENCE
+    return None, NO_CONVERGENCE, max_iterations
 
 
 def solve_batched(
@@ -140,15 +174,25 @@ def solve_batched(
     resolve to ``inf`` — the scalar solver's reading of a ``None`` fixed
     point.  Entries still active after the iteration cap resolve to ``inf``
     as well, with a :class:`FixedPointNoConvergence` warning.
+
+    When a :mod:`repro.obs.telemetry` session is active, each call adds its
+    entry/outcome/round tallies to the ``solver.batched.*`` counters.
     """
+    tel = _active_telemetry()
     start = np.asarray(start, dtype=float)
     out = np.full(start.shape, math.inf)
     active = np.isfinite(start) & (start <= bound)
     idx = np.flatnonzero(active)
+    if tel is not None:
+        tel.count("solver.batched.calls")
+        tel.count("solver.batched.entries", int(start.size))
+        tel.count("solver.batched.diverged", int(start.size - idx.size))
     if idx.size == 0:
         return out
     cur = start[idx].astype(float)
+    rounds = 0
     for _ in range(max_iterations):
+        rounds += 1
         nxt = np.asarray(step(cur, idx), dtype=float)
         if np.isnan(nxt).any():
             nxt = np.where(np.isnan(nxt), math.inf, nxt)
@@ -162,12 +206,20 @@ def solve_batched(
         done = diverged | converged
         if done.any():
             out[idx[converged]] = nxt[converged]
+            if tel is not None:
+                tel.count("solver.batched.converged", int(converged.sum()))
+                tel.count("solver.batched.diverged", int(diverged.sum()))
             keep = ~done
             idx = idx[keep]
             cur = nxt[keep]
             if idx.size == 0:
+                if tel is not None:
+                    tel.count("solver.batched.rounds", rounds)
                 return out
         else:
             cur = nxt
+    if tel is not None:
+        tel.count("solver.batched.rounds", rounds)
+        tel.count("solver.batched.no_convergence", int(idx.size))
     warn_no_convergence(idx.size, bound, stacklevel=4, max_iterations=max_iterations)
     return out

@@ -32,6 +32,7 @@ import numpy as np
 
 from ...model.resources import ResourceError
 from ...model.task import DAGTask, TaskSet
+from ...obs.telemetry import active as _active_telemetry
 
 
 @dataclass
@@ -240,7 +241,15 @@ def compile_taskset(taskset: TaskSet) -> CompiledTaskset:
     retries) reuse them as well.
     """
     tables = _COMPILED.get(taskset)
+    tel = _active_telemetry()
     if tables is None:
+        if tel is not None:
+            tel.count("tables.compile.misses")
         tables = CompiledTaskset(taskset)
         _COMPILED[taskset] = tables
+    elif tel is not None:
+        # Inline bump: the hit path runs once per (test, taskset) on the
+        # kernel hot paths, so skip the Telemetry.count method call.
+        counters = tel.counters
+        counters["tables.compile.hits"] = counters.get("tables.compile.hits", 0) + 1
     return tables

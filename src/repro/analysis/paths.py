@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..model.dag import PathProfile
 from ..model.task import DAGTask
+from ..obs.telemetry import active as _active_telemetry
 
 #: Default cap on the number of *distinct* path signatures kept per task.
 DEFAULT_MAX_SIGNATURES = 4096
@@ -133,8 +134,13 @@ class PathEnumerator:
         """Enumerate (and cache) the distinct path profiles of ``task``."""
         num_edges = task.dag.num_edges
         cached = self._cache.get(task)
+        tel = _active_telemetry()
         if cached is not None and cached[0] == num_edges:
+            if tel is not None:
+                tel.count("enumeration.cache.hits")
             return cached[1]
+        if tel is not None:
+            tel.count("enumeration.cache.misses")
         if self.algorithm == ALGORITHM_DP:
             result = self._enumerate_dp(task)
         else:

@@ -26,12 +26,16 @@ for a walk-through.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.dpcp_p import DEFAULT_MAX_PATH_SIGNATURES
 from ..experiments.runner import SweepConfig
+from ..obs.events import CampaignFinished, CampaignStarted
+from ..obs.log import LOG_LEVELS, configure_logging, get_logger
+from ..obs.sink import EventSink, events_path, iter_event_records
 from ..sim.validation import SimulationConfig
 from .executor import build_protocols, execute_plan
 from .planner import (
@@ -87,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.campaign",
         description="Parallel, resumable schedulability-experiment campaigns.",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro.* loggers (stderr)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines instead of plain text",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     def add_store(sub):
@@ -114,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--quiet", action="store_true", help="suppress progress output"
+        )
+        sub.add_argument(
+            "--no-telemetry",
+            action="store_true",
+            help="disable the out-of-band telemetry/event stream "
+            "(events.jsonl); result bytes are identical either way",
         )
 
     run = commands.add_parser("run", help="plan and execute a campaign")
@@ -216,6 +237,25 @@ def build_parser() -> argparse.ArgumentParser:
     status = commands.add_parser("status", help="progress report of a store")
     add_store(status)
 
+    profile = commands.add_parser(
+        "profile",
+        help="compute-profile of a store: time by phase/protocol/scenario, "
+        "slowest units, solver-iteration histogram (from events.jsonl)",
+    )
+    add_store(profile)
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="number of slowest work units to list",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw profile as JSON instead of tables",
+    )
+
     report = commands.add_parser(
         "report",
         help="render the full report bundle (Markdown, HTML, CSVs) from a store",
@@ -261,13 +301,26 @@ def build_parser() -> argparse.ArgumentParser:
 # Progress reporting
 # --------------------------------------------------------------------------- #
 class _ProgressPrinter:
-    """Single-line progress/ETA reporter writing to stderr."""
+    """Progress/ETA/throughput reporter writing to stderr.
+
+    On an interactive terminal the single status line is redrawn in place
+    (carriage return, no newline).  On a non-TTY stream — CI logs, files,
+    pipes — redrawing would interleave control characters into the log, so
+    the printer falls back to periodic plain lines instead: one full line
+    every :data:`PLAIN_INTERVAL` seconds plus a final one.
+    """
+
+    #: Minimum seconds between plain progress lines on non-TTY streams.
+    PLAIN_INTERVAL = 5.0
 
     def __init__(self, stream=None) -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.started = time.monotonic()
         self.executed = 0
         self.restored = 0
+        isatty = getattr(self.stream, "isatty", None)
+        self.interactive = bool(isatty()) if callable(isatty) else False
+        self._last_plain = -math.inf
 
     def __call__(self, done: int, total: int, result) -> None:
         if result is None:
@@ -280,26 +333,57 @@ class _ProgressPrinter:
             eta = f"{elapsed / self.executed * remaining:7.1f}s"
         else:
             eta = "      ?" if remaining else "   done"
+        rate = self.executed / elapsed if elapsed > 0 else 0.0
         percent = 100.0 * done / total if total else 100.0
         label = result.unit_id if result is not None else "(restored from store)"
-        self.stream.write(
-            f"\r[{done}/{total}] {percent:5.1f}%  elapsed {elapsed:7.1f}s  "
-            f"eta {eta}  {label:<54.54s}"
+        line = (
+            f"[{done}/{total}] {percent:5.1f}%  elapsed {elapsed:7.1f}s  "
+            f"eta {eta}  {rate:6.2f} units/s  {label:<42.42s}"
         )
+        if self.interactive:
+            self.stream.write("\r" + line)
+        else:
+            now = time.monotonic()
+            if remaining and now - self._last_plain < self.PLAIN_INTERVAL:
+                return
+            self._last_plain = now
+            self.stream.write(line.rstrip() + "\n")
         self.stream.flush()
 
     def finish(self) -> None:
-        self.stream.write("\n")
-        self.stream.flush()
+        if self.interactive:
+            self.stream.write("\n")
+            self.stream.flush()
 
 
 def _execute(
-    plan: CampaignPlan, store: CampaignStore, args: argparse.Namespace
+    plan: CampaignPlan,
+    store: CampaignStore,
+    args: argparse.Namespace,
+    manifest: Optional[dict] = None,
 ) -> int:
     protocols = build_protocols(
         plan.protocol_names, plan.config.max_path_signatures
     )
     printer = None if args.quiet else _ProgressPrinter()
+    telemetry = not getattr(args, "no_telemetry", False)
+    sink = EventSink(store.directory) if telemetry else None
+    started_at = time.monotonic()
+    if sink is not None:
+        try:
+            sink.emit(
+                CampaignStarted(
+                    config_hash=(manifest or {}).get("config_hash", ""),
+                    mode=plan.mode,
+                    total_units=len(plan.units),
+                    workers=args.workers,
+                    protocols=tuple(plan.protocol_names),
+                )
+            )
+        except OSError:
+            # An unwritable store directory must not fail the campaign;
+            # results checkpointing will surface real storage problems.
+            sink = None
     try:
         results = execute_plan(
             plan,
@@ -309,10 +393,25 @@ def _execute(
             progress=printer,
             chunk_size=args.chunk_size,
             max_units=args.max_units,
+            telemetry=telemetry,
+            events=sink,
         )
+        if sink is not None:
+            try:
+                sink.emit(
+                    CampaignFinished(
+                        completed=len(results),
+                        total=len(plan.units),
+                        elapsed_seconds=round(time.monotonic() - started_at, 6),
+                    )
+                )
+            except OSError:
+                pass
     finally:
         if printer is not None:
             printer.finish()
+        if sink is not None:
+            sink.close()
     total = len(plan.units)
     failures = sum(result.generation_failures for result in results)
     print(
@@ -356,17 +455,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenarios, config, args.protocols, mode=args.mode, sim_config=sim_config
     )
     store = CampaignStore(args.store)
-    manifest = campaign_manifest(plan)
+    manifest = campaign_manifest(plan, workers=args.workers)
     resuming = store.exists()
-    store.initialize(manifest)
+    manifest = store.initialize(manifest)
+    log = get_logger("campaign.cli")
     if resuming:
-        print(f"store {args.store} already holds this campaign — resuming")
-    print(
-        f"campaign: {len(scenarios)} scenarios, {len(plan.units)} work units, "
-        f"{len(plan.protocol_names)} protocols, mode={plan.mode}, "
-        f"workers={args.workers}"
+        log.info("store %s already holds this campaign — resuming", args.store)
+    log.info(
+        "campaign: %d scenarios, %d work units, %d protocols, mode=%s, workers=%d",
+        len(scenarios),
+        len(plan.units),
+        len(plan.protocol_names),
+        plan.mode,
+        args.workers,
     )
-    return _execute(plan, store, args)
+    return _execute(plan, store, args, manifest=manifest)
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -374,11 +477,13 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     manifest = store.read_manifest()
     plan = plan_from_manifest(manifest)
     pending = len(store.pending_ids(plan.unit_ids))
-    print(
-        f"resuming campaign in {args.store}: "
-        f"{len(plan.units) - pending}/{len(plan.units)} units already complete"
+    get_logger("campaign.cli").info(
+        "resuming campaign in %s: %d/%d units already complete",
+        args.store,
+        len(plan.units) - pending,
+        len(plan.units),
     )
-    return _execute(plan, store, args)
+    return _execute(plan, store, args, manifest=manifest)
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -402,8 +507,37 @@ def _cmd_status(args: argparse.Namespace) -> int:
         mean = elapsed / done
         print(f"unit time:      {mean:.2f}s mean, {elapsed:.1f}s total compute")
         if done < total:
-            print(f"serial ETA:     {mean * (total - done):.1f}s "
-                  f"({total - done} units left)")
+            left = total - done
+            serial = mean * left
+            print(f"serial ETA:     {serial:.1f}s ({left} units left)")
+            # The manifest records the launch's worker count (informational,
+            # outside the config hash); quote the ETA the user will actually
+            # see at that parallelism, not just the serial-compute figure.
+            workers = int(manifest.get("workers") or 1)
+            if workers > 1:
+                print(
+                    f"parallel ETA:   {serial / workers:.1f}s "
+                    f"at {workers} workers (manifest)"
+                )
+    events_file = events_path(store.directory)
+    event_count = 0
+    unit_events = 0
+    last_seq = None
+    for record, _ in iter_event_records(events_file):
+        event_count += 1
+        if record.get("type") == "unit_finished":
+            unit_events += 1
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            last_seq = seq if last_seq is None else max(last_seq, seq)
+    if event_count:
+        print(
+            f"events:         {event_count} in events.jsonl "
+            f"({unit_events} unit completions, last seq "
+            f"{last_seq if last_seq is not None else 'n/a'})"
+        )
+        print(f"profile:        python -m repro.campaign profile "
+              f"--store {store.directory}")
     incomplete = []
     for scenario in plan.scenarios:
         scenario_units = [
@@ -420,6 +554,21 @@ def _cmd_status(args: argparse.Namespace) -> int:
             print(f"  {scenario_id}: {count - missing}/{count}")
         if len(incomplete) > 10:
             print(f"  … and {len(incomplete) - 10} more")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from ..obs.profile import load_profile, render_profile
+
+    if args.top < 1:
+        raise ValueError(f"--top must be at least 1, got {args.top}")
+    profile = load_profile(args.store)
+    if args.json:
+        print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_profile(profile, top=args.top))
     return 0
 
 
@@ -535,10 +684,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     handlers = {
         "run": _cmd_run,
         "resume": _cmd_resume,
         "status": _cmd_status,
+        "profile": _cmd_profile,
         "report": _cmd_report,
         "export": _cmd_export,
     }

@@ -28,6 +28,16 @@ from ..experiments.metrics import ValidationRollup
 from ..generation.randfixedsum import GenerationError
 from ..generation.taskset_gen import generate_taskset
 from ..model.platform import Platform
+from ..obs.events import (
+    SimTruncated,
+    SolveStats,
+    UnitFinished,
+    UnitStarted,
+    UnitTelemetry,
+)
+from ..obs.sink import EventSink
+from ..obs.telemetry import active as _active_telemetry
+from ..obs.telemetry import session as _telemetry_session
 from ..sim.validation import (
     STATUS_RULE_ERROR,
     STATUS_TRUNCATED,
@@ -53,9 +63,14 @@ class UnitResult:
     elapsed_seconds: float = 0.0
     #: Per-protocol validation evidence (simulate-mode units only).
     simulation: Optional[Dict[str, ValidationRollup]] = None
+    #: Per-unit telemetry snapshot (:meth:`repro.obs.telemetry.Telemetry.to_dict`)
+    #: when the unit ran with telemetry enabled.  Deliberately **excluded**
+    #: from :meth:`to_record`: observability is out-of-band, and the
+    #: ``results.jsonl`` bytes must be identical with telemetry on or off.
+    telemetry: Optional[dict] = None
 
     def to_record(self) -> dict:
-        """Serialise into a store record."""
+        """Serialise into a store record (telemetry excluded — out-of-band)."""
         record = {
             "unit_id": self.unit_id,
             "scenario_id": self.scenario_id,
@@ -144,37 +159,68 @@ def _evaluate_samples(
     verdict — the simulate runner's validation hook.  Keeping this loop
     single-sourced is what makes the two modes' acceptance counts
     *identical by construction*, not merely by test.
+
+    With an active telemetry session the loop times its phases
+    (``phase.generation``, ``phase.analysis``, ``phase.simulation``) and
+    each protocol's share (``protocol.<name>``); the guard is one global
+    read when telemetry is off, so the hot loop stays unperturbed.
     """
     platform = Platform(unit.scenario.platform_size)
     generation_config = unit.scenario.generation_config()
     sample_rngs = spawn_rngs(ensure_rng(unit.seed), unit.samples_per_point)
+    tel = _active_telemetry()
     for sample_rng in sample_rngs:
         try:
-            taskset = generate_taskset(unit.utilization, generation_config, sample_rng)
+            if tel is not None:
+                with tel.span("phase.generation"):
+                    taskset = generate_taskset(
+                        unit.utilization, generation_config, sample_rng
+                    )
+            else:
+                taskset = generate_taskset(
+                    unit.utilization, generation_config, sample_rng
+                )
         except GenerationError:
             result.generation_failures += 1
+            if tel is not None:
+                tel.count("generation.failures")
             continue
         result.evaluated += 1
+        if tel is not None:
+            tel.count("generation.tasksets")
         # Warm the shared analysis tables: every kernel-engine protocol
         # below reads the same (weak-keyed, dies-with-the-taskset)
         # CompiledTaskset via compile_taskset's memo.
         compile_taskset(taskset)
         for test in protocols:
-            verdict = test.test(taskset, platform)
+            if tel is not None:
+                with tel.span("phase.analysis"), tel.span(f"protocol.{test.name}"):
+                    verdict = test.test(taskset, platform)
+            else:
+                verdict = test.test(taskset, platform)
             if not verdict.schedulable:
                 continue
             result.accepted[test.name] += 1
             if on_accepted is not None:
-                on_accepted(test, verdict)
+                if tel is not None:
+                    with tel.span("phase.simulation"):
+                        on_accepted(test, verdict)
+                else:
+                    on_accepted(test, verdict)
 
 
 def execute_unit(
-    unit: WorkUnit, protocols: Sequence[SchedulabilityTest]
+    unit: WorkUnit,
+    protocols: Sequence[SchedulabilityTest],
+    telemetry: bool = False,
 ) -> UnitResult:
     """Execute one work unit: generate the samples and apply every protocol.
 
     The sample streams are spawned from the unit's own seed, reproducing
     exactly the generators the serial sweep would have used for this point.
+    With ``telemetry=True`` the unit runs inside its own
+    :func:`repro.obs.telemetry.session` and its aggregated snapshot travels
+    back in :attr:`UnitResult.telemetry` (never in the store record).
     """
     started = time.perf_counter()
     result = UnitResult(
@@ -184,7 +230,12 @@ def execute_unit(
         utilization=unit.utilization,
         accepted={test.name: 0 for test in protocols},
     )
-    _evaluate_samples(unit, protocols, result)
+    if telemetry:
+        with _telemetry_session() as tel:
+            _evaluate_samples(unit, protocols, result)
+            result.telemetry = tel.to_dict()
+    else:
+        _evaluate_samples(unit, protocols, result)
     result.elapsed_seconds = time.perf_counter() - started
     return result
 
@@ -193,6 +244,7 @@ def execute_simulation_unit(
     unit: WorkUnit,
     protocols: Sequence[SchedulabilityTest],
     sim_config: Optional[SimulationConfig] = None,
+    telemetry: bool = False,
 ) -> UnitResult:
     """Execute one *validation* work unit: analyze, then simulate acceptances.
 
@@ -203,6 +255,7 @@ def execute_simulation_unit(
     observed/bound response-time ratios, deadline misses, invariant
     counters, and truncation outcomes are folded into one
     :class:`~repro.experiments.metrics.ValidationRollup` per protocol.
+    ``telemetry`` behaves exactly as in :func:`execute_unit`.
     """
     sim_config = sim_config or SimulationConfig()
     started = time.perf_counter()
@@ -231,7 +284,12 @@ def execute_simulation_unit(
         for task_id, observed in sorted(outcome.observed_response_times.items()):
             rollup.ratio.add(observed / verdict.task_analyses[task_id].wcrt)
 
-    _evaluate_samples(unit, protocols, result, on_accepted=validate)
+    if telemetry:
+        with _telemetry_session() as tel:
+            _evaluate_samples(unit, protocols, result, on_accepted=validate)
+            result.telemetry = tel.to_dict()
+    else:
+        _evaluate_samples(unit, protocols, result, on_accepted=validate)
     result.elapsed_seconds = time.perf_counter() - started
     return result
 
@@ -242,10 +300,21 @@ def execute_simulation_unit(
 UnitRunner = Callable[[WorkUnit, Sequence[SchedulabilityTest]], UnitResult]
 
 
-def plan_runner(plan: CampaignPlan) -> UnitRunner:
-    """The unit runner a plan's mode calls for (pickleable)."""
+def plan_runner(plan: CampaignPlan, telemetry: bool = False) -> UnitRunner:
+    """The unit runner a plan's mode calls for (pickleable).
+
+    ``telemetry=True`` makes every unit run inside its own telemetry
+    session and carry its snapshot home in :attr:`UnitResult.telemetry`
+    (a plain dict, so it pickles across the process-pool boundary).
+    """
     if plan.mode == MODE_SIMULATE:
-        return functools.partial(execute_simulation_unit, sim_config=plan.sim_config)
+        return functools.partial(
+            execute_simulation_unit,
+            sim_config=plan.sim_config,
+            telemetry=telemetry,
+        )
+    if telemetry:
+        return functools.partial(execute_unit, telemetry=True)
     return execute_unit
 
 
@@ -262,6 +331,69 @@ def _chunk(units: List[WorkUnit], size: int) -> List[List[WorkUnit]]:
     return [units[i : i + size] for i in range(0, len(units), size)]
 
 
+def _emit_unit_finished(events: Optional[EventSink], result: UnitResult) -> None:
+    """Emit the per-unit events of one finished unit (best-effort).
+
+    Emits :class:`~repro.obs.events.UnitFinished` always, and — when the
+    unit ran with telemetry — the full
+    :class:`~repro.obs.events.UnitTelemetry` snapshot plus the derived
+    :class:`~repro.obs.events.SolveStats` /
+    :class:`~repro.obs.events.SimTruncated` digests.  Event I/O failures
+    are swallowed: observability must never fail a campaign.
+    """
+    if events is None:
+        return
+    try:
+        events.emit(
+            UnitFinished(
+                unit_id=result.unit_id,
+                scenario_id=result.scenario_id,
+                point_index=result.point_index,
+                utilization=result.utilization,
+                elapsed_seconds=round(result.elapsed_seconds, 6),
+                evaluated=result.evaluated,
+                generation_failures=result.generation_failures,
+            )
+        )
+        if not result.telemetry:
+            return
+        events.emit(
+            UnitTelemetry(unit_id=result.unit_id, telemetry=result.telemetry)
+        )
+        counters = result.telemetry.get("counters", {})
+        events.emit(
+            SolveStats(
+                unit_id=result.unit_id,
+                scalar_calls=counters.get("solver.scalar.calls", 0),
+                batched_calls=counters.get("solver.batched.calls", 0),
+                converged=(
+                    counters.get("solver.scalar.converged", 0)
+                    + counters.get("solver.batched.converged", 0)
+                ),
+                diverged=(
+                    counters.get("solver.scalar.diverged", 0)
+                    + counters.get("solver.batched.diverged", 0)
+                ),
+                no_convergence=(
+                    counters.get("solver.scalar.no_convergence", 0)
+                    + counters.get("solver.batched.no_convergence", 0)
+                ),
+                iterations=counters.get("solver.scalar.iterations", 0),
+            )
+        )
+        if counters.get("sim.truncated"):
+            events.emit(
+                SimTruncated(
+                    unit_id=result.unit_id,
+                    truncated=counters.get("sim.truncated", 0),
+                    simulated=counters.get("sim.runs", 0),
+                    events=counters.get("sim.events", 0),
+                )
+            )
+    except OSError:
+        pass
+
+
 def execute_units(
     units: Sequence[WorkUnit],
     protocols: Sequence[SchedulabilityTest],
@@ -272,6 +404,7 @@ def execute_units(
     chunk_size: Optional[int] = None,
     max_units: Optional[int] = None,
     runner: UnitRunner = execute_unit,
+    events: Optional[EventSink] = None,
 ) -> List[UnitResult]:
     """Execute ``units``, returning their results in input order.
 
@@ -281,7 +414,10 @@ def execute_units(
     the number of *newly executed* units — useful for smoke tests and for
     demonstrating interrupted runs.  ``runner`` selects how one unit is
     executed (analysis only, or analysis + validation simulation); it must
-    be pickleable for ``workers > 1``.
+    be pickleable for ``workers > 1``.  An optional ``events`` sink
+    receives :class:`~repro.obs.events.UnitStarted` on dispatch and the
+    per-unit finish events (out-of-band; emission failures never fail the
+    run, and restored units emit nothing).
     """
     _require_unique_names(protocols)
     if chunk_size is not None and chunk_size < 1:
@@ -305,10 +441,20 @@ def execute_units(
     if max_units is not None:
         pending = pending[:max_units]
 
+    def started(units_batch: Sequence[WorkUnit]) -> None:
+        if events is None:
+            return
+        try:
+            for unit in units_batch:
+                events.emit(UnitStarted(unit_id=unit.unit_id))
+        except OSError:
+            pass
+
     def finish(result: UnitResult) -> None:
         nonlocal done
         if store is not None:
             store.append(result.to_record())
+        _emit_unit_finished(events, result)
         completed[result.unit_id] = result
         done += 1
         if progress is not None:
@@ -316,6 +462,7 @@ def execute_units(
 
     if workers <= 1 or len(pending) <= 1:
         for unit in pending:
+            started([unit])
             finish(runner(unit, protocols))
     else:
         # A chunk is checkpointed only when it returns as a whole, so the
@@ -327,10 +474,10 @@ def execute_units(
         pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
         futures = set()
         try:
-            futures = {
-                pool.submit(_execute_chunk, chunk, protocols, runner)
-                for chunk in chunks
-            }
+            futures = set()
+            for chunk in chunks:
+                started(chunk)
+                futures.add(pool.submit(_execute_chunk, chunk, protocols, runner))
             while futures:
                 finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in finished:
@@ -354,6 +501,7 @@ def execute_units(
                     if result.unit_id not in completed:
                         if store is not None:
                             store.append(result.to_record())
+                        _emit_unit_finished(events, result)
                         completed[result.unit_id] = result
 
     return [completed[unit.unit_id] for unit in units if unit.unit_id in completed]
@@ -368,12 +516,17 @@ def execute_plan(
     progress: Optional[UnitProgress] = None,
     chunk_size: Optional[int] = None,
     max_units: Optional[int] = None,
+    telemetry: bool = False,
+    events: Optional[EventSink] = None,
 ) -> List[UnitResult]:
     """Execute every unit of a planned campaign (see :func:`execute_units`).
 
     The unit runner follows the plan's mode: simulate-mode plans run every
     unit through :func:`execute_simulation_unit` with the plan's
-    :class:`~repro.sim.validation.SimulationConfig`.
+    :class:`~repro.sim.validation.SimulationConfig`.  ``telemetry`` turns
+    on per-unit telemetry aggregation and ``events`` receives the unit
+    lifecycle events — both strictly out-of-band (``results.jsonl`` bytes
+    are identical either way).
     """
     if protocols is None:
         protocols = build_protocols(
@@ -387,7 +540,8 @@ def execute_plan(
         progress=progress,
         chunk_size=chunk_size,
         max_units=max_units,
-        runner=plan_runner(plan),
+        runner=plan_runner(plan, telemetry=telemetry),
+        events=events,
     )
 
 

@@ -266,8 +266,14 @@ def config_hash(manifest: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def campaign_manifest(plan: CampaignPlan) -> dict:
-    """Build the manifest persisted alongside a campaign's results."""
+def campaign_manifest(plan: CampaignPlan, workers: Optional[int] = None) -> dict:
+    """Build the manifest persisted alongside a campaign's results.
+
+    ``workers`` records the launch's worker-process count as a purely
+    informational key (``status`` uses it for a parallel ETA).  It is
+    deliberately **outside** :func:`config_hash` — results are identical
+    at any worker count, so the hash must not depend on it.
+    """
     if plan.config.seed is None:
         raise ValueError(
             "a persisted campaign requires a concrete seed (SweepConfig.seed "
@@ -284,6 +290,8 @@ def campaign_manifest(plan: CampaignPlan) -> dict:
     if plan.sim_config is not None:
         manifest["simulation"] = plan.sim_config.to_dict()
     manifest["config_hash"] = config_hash(manifest)
+    if workers is not None:
+        manifest["workers"] = int(workers)
     return manifest
 
 

@@ -1,0 +1,206 @@
+"""Typed, frozen campaign events — one dataclass per event type.
+
+Following the named-types idiom (one frozen class per message, a registry
+keyed by a stable type name), every observable campaign occurrence is its
+own dataclass: :class:`CampaignStarted`, :class:`UnitStarted`,
+:class:`UnitFinished`, :class:`UnitTelemetry`, :class:`SolveStats`,
+:class:`SimTruncated`, :class:`CacheStats`, :class:`CampaignFinished`.
+Events are pure immutable payloads; the *envelope* — monotonic sequence
+number and wall-clock timestamp — is stamped by
+:class:`repro.obs.sink.EventSink` when a record is appended to
+``events.jsonl``, so event values stay hashable, comparable, and trivially
+constructible in tests.
+
+``to_record()`` serialises an event into a JSON-safe dict carrying its
+``type`` name; :func:`event_from_record` dispatches on that name through
+:data:`EVENT_TYPES` and rebuilds the typed value, ignoring envelope keys
+and unknown fields (forward compatibility: newer writers may add fields).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+#: Registry of event type name → event class, populated by
+#: :func:`_register`; the single source :func:`event_from_record` and the
+#: docs' event taxonomy derive from.
+EVENT_TYPES: Dict[str, Type["Event"]] = {}
+
+
+def _register(cls: Type["Event"]) -> Type["Event"]:
+    """Class decorator adding an event type to :data:`EVENT_TYPES`."""
+    if cls.TYPE in EVENT_TYPES:  # pragma: no cover - import-time invariant
+        raise ValueError(f"duplicate event type name {cls.TYPE!r}")
+    EVENT_TYPES[cls.TYPE] = cls
+    return cls
+
+
+class Event:
+    """Base class of every campaign event (payload only, no envelope).
+
+    Subclasses are frozen dataclasses with a ``TYPE`` class attribute (the
+    stable wire name).  The base class supplies the generic
+    :meth:`to_record` / :meth:`from_record` pair used by the sink and the
+    profile reader.
+    """
+
+    #: Stable wire name of the event type (overridden per subclass).
+    TYPE = ""
+
+    def to_record(self) -> dict:
+        """JSON-serialisable record: ``{"type": TYPE, **payload}``."""
+        record: Dict[str, Any] = {"type": self.TYPE}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            record[field.name] = value
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping) -> "Event":
+        """Rebuild an event from :meth:`to_record` output.
+
+        Envelope keys (``seq``, ``ts``, ``type``) and unknown fields are
+        ignored; missing optional fields keep their defaults.  Raises
+        ``TypeError`` when a required payload field is absent.
+        """
+        names = {field.name for field in dataclasses.fields(cls)}
+        payload = {}
+        for name in names:
+            if name in record:
+                value = record[name]
+                if isinstance(value, list):
+                    value = tuple(value)
+                payload[name] = value
+        return cls(**payload)
+
+
+@_register
+@dataclass(frozen=True)
+class CampaignStarted(Event):
+    """A campaign run (fresh or resumed) began executing work units."""
+
+    TYPE = "campaign_started"
+
+    config_hash: str
+    mode: str
+    total_units: int
+    workers: int
+    protocols: Tuple[str, ...] = ()
+
+
+@_register
+@dataclass(frozen=True)
+class UnitStarted(Event):
+    """A work unit was dispatched for execution (in-process or to a worker)."""
+
+    TYPE = "unit_started"
+
+    unit_id: str
+
+
+@_register
+@dataclass(frozen=True)
+class UnitFinished(Event):
+    """A work unit completed and was checkpointed into the store."""
+
+    TYPE = "unit_finished"
+
+    unit_id: str
+    scenario_id: str
+    point_index: int
+    utilization: float
+    elapsed_seconds: float
+    evaluated: int
+    generation_failures: int
+
+
+@_register
+@dataclass(frozen=True)
+class UnitTelemetry(Event):
+    """The full per-unit telemetry snapshot of a finished work unit.
+
+    ``telemetry`` is a :meth:`repro.obs.telemetry.Telemetry.to_dict`
+    snapshot aggregated inside the worker; the profile reader merges these
+    associatively across units.  Dict payloads are compared by identity in
+    the frozen dataclass sense only — events of this type are not hashable.
+    """
+
+    TYPE = "unit_telemetry"
+
+    unit_id: str
+    telemetry: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "telemetry", dict(self.telemetry))
+
+
+@_register
+@dataclass(frozen=True)
+class SolveStats(Event):
+    """Fixed-point solver tallies of one finished work unit."""
+
+    TYPE = "solve_stats"
+
+    unit_id: str
+    scalar_calls: int = 0
+    batched_calls: int = 0
+    converged: int = 0
+    diverged: int = 0
+    no_convergence: int = 0
+    iterations: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class SimTruncated(Event):
+    """At least one simulation run of a work unit hit a budget and truncated."""
+
+    TYPE = "sim_truncated"
+
+    unit_id: str
+    truncated: int
+    simulated: int
+    events: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class CacheStats(Event):
+    """A cache reported its effectiveness (e.g. the report aggregator's)."""
+
+    TYPE = "cache_stats"
+
+    cache: str
+    hit: bool
+    units_from_cache: int = 0
+    units_folded: int = 0
+    miss_reason: Optional[str] = None
+
+
+@_register
+@dataclass(frozen=True)
+class CampaignFinished(Event):
+    """A campaign run finished (completely or out of units/budget)."""
+
+    TYPE = "campaign_finished"
+
+    completed: int
+    total: int
+    elapsed_seconds: float
+
+
+def event_from_record(record: Mapping) -> Optional[Event]:
+    """Rebuild the typed event of one ``events.jsonl`` record.
+
+    Returns ``None`` for unknown type names (a newer writer's events are
+    skipped, never fatal) and raises ``TypeError`` for records missing
+    required payload fields of a known type.
+    """
+    cls = EVENT_TYPES.get(record.get("type", ""))
+    if cls is None:
+        return None
+    return cls.from_record(record)

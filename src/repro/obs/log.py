@@ -1,0 +1,80 @@
+"""Structured logging for the ``repro.*`` module loggers.
+
+Every subsystem logs through a module logger named after its import path
+(``logging.getLogger("repro.campaign.cli")`` etc., via :func:`get_logger`),
+and :func:`configure_logging` attaches exactly one handler to the shared
+``repro`` root — either a plain human-readable stream handler or a
+JSON-lines handler (one ``{"ts", "level", "logger", "message"}`` object
+per line), selected by the campaign CLI's ``--log-level`` / ``--log-json``
+flags.  Library code never configures handlers itself: embedding
+applications keep full control of the ``repro`` logger tree, and with no
+configuration at all Python's default ``lastResort`` behaviour applies.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: Log level names accepted by :func:`configure_logging` / ``--log-level``.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.*`` module logger for ``name``.
+
+    ``name`` may be a full module path (``repro.campaign.cli``) or a
+    suffix (``campaign.cli``); both resolve under the shared ``repro``
+    logging tree so one :func:`configure_logging` call covers everything.
+    """
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Format log records as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record as a compact, sorted-key JSON line."""
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree for CLI use (idempotent).
+
+    Replaces any handlers previously attached to the ``repro`` root with a
+    single stream handler on ``stream`` (default: stderr, keeping stdout
+    clean for command output), formatted as plain messages or JSON lines.
+    Returns the configured root logger.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {', '.join(LOG_LEVELS)}"
+        )
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    return root

@@ -1,0 +1,263 @@
+"""Compute profiling: turn a campaign store into "where did the time go".
+
+This is the one :mod:`repro.obs` module that is **not** stdlib-only — it
+reads the campaign store (``results.jsonl`` for per-unit wall-clock and
+identity, ``events.jsonl`` for the per-unit telemetry snapshots) and is
+therefore imported lazily by its consumers (``python -m repro.campaign
+profile`` and the report bundle's "Compute profile" section) instead of
+from ``repro.obs.__init__`` — eagerly importing it there would cycle
+through the campaign planner back into the instrumented analysis engine.
+
+The profile separates two kinds of evidence:
+
+* **Deterministic counters and histograms** (solver outcome tallies, cache
+  hits/misses, simulator event counts) — integer sums, identical for a
+  fixed seed at any worker count.  These feed the byte-pinned report
+  section.
+* **Wall-clock timings** (per-phase and per-protocol spans, per-unit
+  elapsed seconds) — machine- and load-dependent.  These stay in the
+  ``profile`` CLI output only, never in byte-compared artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..campaign.store import CampaignStore
+from .events import UnitTelemetry, event_from_record
+from .sink import events_path, iter_event_records
+from .telemetry import Telemetry, bucket_sort_key
+
+
+@dataclass
+class UnitProfile:
+    """Per-unit slice of the compute profile (from ``results.jsonl``)."""
+
+    unit_id: str
+    scenario_id: str
+    point_index: int
+    utilization: float
+    elapsed_seconds: float
+    evaluated: int
+    generation_failures: int
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``profile --json``)."""
+        return {
+            "unit_id": self.unit_id,
+            "scenario_id": self.scenario_id,
+            "point_index": self.point_index,
+            "utilization": self.utilization,
+            "elapsed_seconds": self.elapsed_seconds,
+            "evaluated": self.evaluated,
+            "generation_failures": self.generation_failures,
+        }
+
+
+@dataclass
+class ComputeProfile:
+    """Everything the ``profile`` command and report section render.
+
+    ``telemetry`` is the associative merge of every unit's
+    :class:`~repro.obs.events.UnitTelemetry` snapshot, folded in sorted
+    unit-id order; ``units`` covers every checkpointed unit whether or not
+    it ran with telemetry.
+    """
+
+    store_directory: str
+    units: List[UnitProfile] = field(default_factory=list)
+    telemetry: Telemetry = field(default_factory=Telemetry)
+    #: events.jsonl record count per event type (empty without the file).
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    #: Units whose telemetry snapshot was found in events.jsonl.
+    units_with_telemetry: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def phase_timers(self) -> "List[Tuple[str, object]]":
+        """``(phase, TimerStats)`` rows of the ``phase.*`` spans (sorted)."""
+        return [
+            (name[len("phase."):], self.telemetry.timers[name])
+            for name in sorted(self.telemetry.timers)
+            if name.startswith("phase.")
+        ]
+
+    def protocol_timers(self) -> "List[Tuple[str, object]]":
+        """``(protocol, TimerStats)`` rows of the ``protocol.*`` spans."""
+        return [
+            (name[len("protocol."):], self.telemetry.timers[name])
+            for name in sorted(self.telemetry.timers)
+            if name.startswith("protocol.")
+        ]
+
+    def scenario_seconds(self) -> "List[Tuple[str, int, float]]":
+        """``(scenario_id, units, elapsed_seconds)`` rows, slowest first."""
+        totals: Dict[str, List[float]] = {}
+        for unit in self.units:
+            slot = totals.setdefault(unit.scenario_id, [0, 0.0])
+            slot[0] += 1
+            slot[1] += unit.elapsed_seconds
+        return sorted(
+            ((sid, int(n), t) for sid, (n, t) in totals.items()),
+            key=lambda row: (-row[2], row[0]),
+        )
+
+    def slowest_units(self, top: int = 10) -> List[UnitProfile]:
+        """The ``top`` slowest units by elapsed seconds."""
+        ranked = sorted(
+            self.units, key=lambda u: (-u.elapsed_seconds, u.unit_id)
+        )
+        return ranked[: max(0, top)]
+
+    def solver_histogram(self) -> "List[Tuple[str, int]]":
+        """Bucketed ``solver.iterations`` rows in ascending bucket order."""
+        histogram = self.telemetry.histograms.get("solver.iterations", {})
+        return [
+            (label, histogram[label])
+            for label in sorted(histogram, key=bucket_sort_key)
+        ]
+
+    def deterministic_counters(self) -> Dict[str, int]:
+        """The integer counters (fixed-seed deterministic at any worker count)."""
+        return dict(self.telemetry.counters)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable profile (``profile --json``)."""
+        return {
+            "store_directory": self.store_directory,
+            "units": [unit.to_dict() for unit in self.units],
+            "units_with_telemetry": self.units_with_telemetry,
+            "event_counts": {
+                k: self.event_counts[k] for k in sorted(self.event_counts)
+            },
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+
+def load_profile(store_directory: str) -> ComputeProfile:
+    """Build the :class:`ComputeProfile` of one campaign store.
+
+    ``results.jsonl`` supplies the per-unit rows (torn-line tolerant,
+    first record wins per unit, exactly like resume); ``events.jsonl`` —
+    when present — supplies the telemetry snapshots, merged in sorted
+    unit-id order so the result is independent of completion order.
+    A store without events (telemetry disabled, or a pre-observability
+    store) still profiles: wall-clock and scenario tables come from the
+    results alone and the telemetry sections are empty.
+    """
+    store = CampaignStore(store_directory)
+    profile = ComputeProfile(store_directory=store.directory)
+    for record in store.load_records().values():
+        profile.units.append(
+            UnitProfile(
+                unit_id=str(record.get("unit_id", "")),
+                scenario_id=str(record.get("scenario_id", "")),
+                point_index=int(record.get("point_index", 0)),
+                utilization=float(record.get("utilization", 0.0)),
+                elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+                evaluated=int(record.get("evaluated", 0)),
+                generation_failures=int(record.get("generation_failures", 0)),
+            )
+        )
+    profile.units.sort(key=lambda unit: unit.unit_id)
+
+    snapshots: Dict[str, Telemetry] = {}
+    for record, _ in iter_event_records(events_path(store.directory)):
+        kind = str(record.get("type"))
+        profile.event_counts[kind] = profile.event_counts.get(kind, 0) + 1
+        if kind != UnitTelemetry.TYPE:
+            continue
+        try:
+            event = event_from_record(record)
+        except TypeError:
+            continue
+        if isinstance(event, UnitTelemetry):
+            # Last snapshot wins per unit: an interrupted run's re-executed
+            # unit supersedes the torn original.
+            snapshots[event.unit_id] = Telemetry.from_dict(event.telemetry)
+    for unit_id in sorted(snapshots):
+        profile.telemetry.merge(snapshots[unit_id])
+    profile.units_with_telemetry = len(snapshots)
+    return profile
+
+
+def _format_seconds(seconds: float) -> str:
+    return f"{seconds:10.3f}s"
+
+
+def render_profile(profile: ComputeProfile, top: int = 10) -> str:
+    """Plain-text compute-profile tables (the ``profile`` command body)."""
+    lines: List[str] = []
+    total_elapsed = sum(unit.elapsed_seconds for unit in profile.units)
+    lines.append(f"compute profile of {profile.store_directory}")
+    lines.append(
+        f"units: {len(profile.units)} checkpointed, "
+        f"{profile.units_with_telemetry} with telemetry, "
+        f"{total_elapsed:.3f}s total unit compute"
+    )
+
+    phases = profile.phase_timers()
+    if phases:
+        lines.append("")
+        lines.append("time by phase")
+        for name, timer in sorted(phases, key=lambda row: -row[1].total):
+            share = 100.0 * timer.total / total_elapsed if total_elapsed else 0.0
+            lines.append(
+                f"  {name:<12} {_format_seconds(timer.total)}  "
+                f"{share:5.1f}%  ({timer.count} spans)"
+            )
+
+    protocols = profile.protocol_timers()
+    if protocols:
+        lines.append("")
+        lines.append("time by protocol")
+        for name, timer in sorted(protocols, key=lambda row: -row[1].total):
+            lines.append(
+                f"  {name:<12} {_format_seconds(timer.total)}  "
+                f"({timer.count} tests, max {timer.maximum:.6f}s)"
+            )
+
+    scenarios = profile.scenario_seconds()
+    if scenarios:
+        lines.append("")
+        lines.append("time by scenario")
+        for scenario_id, count, seconds in scenarios:
+            lines.append(
+                f"  {scenario_id:<44} {_format_seconds(seconds)}  ({count} units)"
+            )
+
+    slowest = profile.slowest_units(top)
+    if slowest:
+        lines.append("")
+        lines.append(f"slowest units (top {min(top, len(slowest))})")
+        for unit in slowest:
+            lines.append(
+                f"  {unit.unit_id:<48} {_format_seconds(unit.elapsed_seconds)}  "
+                f"({unit.evaluated} samples)"
+            )
+
+    histogram = profile.solver_histogram()
+    if histogram:
+        lines.append("")
+        lines.append("solver iterations per fixed point")
+        total = sum(count for _, count in histogram)
+        for label, count in histogram:
+            share = 100.0 * count / total if total else 0.0
+            lines.append(f"  {label:>7} iterations  {count:>8}  {share:5.1f}%")
+
+    counters = profile.deterministic_counters()
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<32} {counters[name]}")
+
+    if not profile.event_counts:
+        lines.append("")
+        lines.append(
+            "no events.jsonl in this store — run the campaign without "
+            "--no-telemetry to collect phase timings and solver statistics"
+        )
+    return "\n".join(lines)

@@ -41,6 +41,7 @@ from ..experiments.metrics import (
 )
 from ..experiments.runner import SweepResult, pairwise_statistics
 from ..experiments.scenarios import Scenario
+from ..obs.telemetry import active as _active_telemetry
 
 #: Version of the aggregation-cache layout.  Bumped on incompatible changes
 #: so stale caches are rebuilt instead of misread.
@@ -172,6 +173,22 @@ class StoreAggregate:
             return {}
         totals = weighted_acceptance(curves)
         return {name: totals.get(name, math.nan) for name in self.protocols}
+
+    def compute_profile(self):
+        """The store's :class:`~repro.obs.profile.ComputeProfile`, or ``None``.
+
+        ``None`` when the store recorded no events (telemetry disabled, or
+        a pre-observability store) — report renderers then omit the
+        "Compute profile" section.  Imported lazily: the profile module
+        depends on the campaign store and must not be pulled in by plain
+        aggregation.
+        """
+        from ..obs.profile import load_profile
+
+        profile = load_profile(self.store_directory)
+        if not profile.event_counts:
+            return None
+        return profile
 
     def pairwise(self) -> Optional[PairwiseStatistics]:
         """Dominance/outperformance over the complete scenarios.
@@ -352,6 +369,12 @@ class StoreAggregator:
                 # not fail the report — the aggregate in hand is complete;
                 # only the next invocation's warm start is lost.
                 pass
+
+        tel = _active_telemetry()
+        if tel is not None:
+            tel.count("aggregate.cache.hits" if stats.hit else "aggregate.cache.misses")
+            tel.count("aggregate.units_from_cache", stats.units_from_cache)
+            tel.count("aggregate.units_folded", stats.units_folded)
 
         return self._assemble(manifest, plan, points, stats)
 

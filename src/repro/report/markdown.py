@@ -117,6 +117,51 @@ def render_tightness_section(aggregate: StoreAggregate) -> List[str]:
     return parts
 
 
+def render_profile_section(aggregate: StoreAggregate) -> List[str]:
+    """The compute-profile section of a report (Markdown).
+
+    Only the **deterministic** part of the telemetry appears here —
+    integer counters and the bucketed solver-iteration histogram, which a
+    fixed-seed campaign reproduces byte-for-byte at any worker count.
+    Wall-clock timings (machine-dependent) stay in ``python -m
+    repro.campaign profile``.  Empty when the store has no event stream
+    (telemetry disabled, or a pre-observability store).
+    """
+    profile = aggregate.compute_profile()
+    parts: List[str] = []
+    if profile is None or not profile.telemetry:
+        return parts
+    parts.append("## Compute profile")
+    parts.append("")
+    parts.append(
+        f"Deterministic telemetry counters merged over "
+        f"{profile.units_with_telemetry} work-unit snapshots from the "
+        "out-of-band event stream (`events.jsonl`).  Wall-clock timings "
+        "are machine-dependent and deliberately omitted — see `python -m "
+        "repro.campaign profile`."
+    )
+    parts.append("")
+    counters = profile.deterministic_counters()
+    if counters:
+        parts.append(
+            _markdown_table(
+                ("Counter", "Value"),
+                [[f"`{name}`", str(counters[name])] for name in sorted(counters)],
+            )
+        )
+        parts.append("")
+    histogram = profile.solver_histogram()
+    if histogram:
+        parts.append(
+            _markdown_table(
+                ("Solver iterations", "Fixed points"),
+                [[label, str(count)] for label, count in histogram],
+            )
+        )
+        parts.append("")
+    return parts
+
+
 def render_markdown_report(
     aggregate: StoreAggregate, protocols: Optional[Sequence[str]] = None
 ) -> str:
@@ -185,6 +230,8 @@ def render_markdown_report(
         parts.append(render_outperformance_table(stats, protocols=stats.protocols))
         parts.append("```")
         parts.append("")
+
+    parts.extend(render_profile_section(aggregate))
 
     parts.append(f"## Acceptance-ratio series ({len(complete)} scenarios)")
     parts.append("")

@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional
 
 from ..model.platform import PartitionedSystem
 from ..model.task import TaskSet
+from ..obs.telemetry import active as _active_telemetry
 from .simulator import (
     DpcpPSimulator,
     SimulationError,
@@ -255,6 +256,16 @@ def validate_partition(
         previous = observed.get(record.task_id)
         if previous is None or response > previous:
             observed[record.task_id] = response
+    tel = _active_telemetry()
+    if tel is not None:
+        tel.count("sim.runs")
+        tel.count("sim.events", simulator.events_processed)
+        tel.count("sim.jobs_released", len(trace.jobs))
+        tel.count("sim.jobs_finished", finished)
+        if status == STATUS_TRUNCATED:
+            tel.count("sim.truncated")
+        elif status == STATUS_RULE_ERROR:
+            tel.count("sim.rule_errors")
     return ValidationOutcome(
         status=status,
         horizon=horizon,

@@ -112,7 +112,10 @@ def test_plan_runner_matches_the_mode():
     assert plan_runner(analyze).__name__ == "execute_unit"
     partial = plan_runner(simulate)
     assert partial.func.__name__ == "execute_simulation_unit"
-    assert partial.keywords == {"sim_config": simulate.sim_config}
+    assert partial.keywords == {
+        "sim_config": simulate.sim_config,
+        "telemetry": False,
+    }
 
 
 # --------------------------------------------------------------------------- #
