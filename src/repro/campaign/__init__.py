@@ -9,6 +9,7 @@ architecture and EXPERIMENTS.md for the command-line workflow.
 """
 
 from .executor import (
+    RetryPolicy,
     UnitResult,
     assemble_campaign,
     assemble_sweep,
@@ -19,6 +20,7 @@ from .executor import (
     execute_units,
     plan_runner,
 )
+from .merge import MergeConflictError, MergeError, MergeReport, merge_stores
 from .planner import (
     CAMPAIGN_MODES,
     MODE_ANALYZE,
@@ -28,15 +30,18 @@ from .planner import (
     WorkUnit,
     campaign_manifest,
     config_hash,
+    manifest_shard,
     parse_filter,
     plan_campaign,
     plan_from_manifest,
     plan_scenario_units,
     select_scenarios,
+    shard_units,
 )
 from .store import CampaignStore, ConfigMismatchError, StoreError
 
 __all__ = [
+    "RetryPolicy",
     "UnitResult",
     "assemble_campaign",
     "assemble_sweep",
@@ -46,6 +51,10 @@ __all__ = [
     "execute_unit",
     "execute_units",
     "plan_runner",
+    "MergeConflictError",
+    "MergeError",
+    "MergeReport",
+    "merge_stores",
     "CAMPAIGN_MODES",
     "MODE_ANALYZE",
     "MODE_SIMULATE",
@@ -54,11 +63,13 @@ __all__ = [
     "WorkUnit",
     "campaign_manifest",
     "config_hash",
+    "manifest_shard",
     "parse_filter",
     "plan_campaign",
     "plan_from_manifest",
     "plan_scenario_units",
     "select_scenarios",
+    "shard_units",
     "CampaignStore",
     "ConfigMismatchError",
     "StoreError",

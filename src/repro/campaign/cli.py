@@ -5,6 +5,7 @@
     python -m repro.campaign run    --store DIR [selection/config options]
     python -m repro.campaign resume --store DIR [--workers N]
     python -m repro.campaign status --store DIR
+    python -m repro.campaign merge  --into DIR SHARD_DIR [SHARD_DIR ...]
     python -m repro.campaign report --store DIR [--out DIR]
     python -m repro.campaign export --store DIR [--out DIR]
 
@@ -13,13 +14,18 @@ against an existing store with the same configuration simply resumes it,
 while a mismatched configuration is refused.  ``run --mode simulate``
 additionally pushes every analysis-accepted task set through the DPCP-p
 runtime simulator (bound-tightness / invariant validation; see
-``docs/validation.md``).  ``resume`` needs no
-configuration flags at all — everything is recovered from the manifest.
-``report`` renders the full deliverable bundle (``REPORT.md``,
-``report.html``, per-scenario CSVs) from the store through the cached
-reporting aggregator — zero analysis re-runs.  Exit codes are
-watch-friendly: 0 = complete report, 3 = incomplete campaign (partial
-report written; poll/resume and re-run), 2 = error.  See EXPERIMENTS.md
+``docs/validation.md``).  ``run --shard I/N`` executes the deterministic
+I-th slice of the work-unit grid into its own store (one directory per
+shard, possibly one host per shard); ``merge`` recombines any set of
+partial shard stores into one store the other commands consume unchanged.
+``resume`` needs no configuration flags at all — everything is recovered
+from the manifest.  ``report`` renders the full deliverable bundle
+(``REPORT.md``, ``report.html``, per-scenario CSVs) from the store through
+the cached reporting aggregator — zero analysis re-runs.  Exit codes are
+watch-friendly: 0 = complete report, 3 = incomplete campaign or
+quarantined units (partial report written; poll/resume and re-run),
+2 = error.  Fault handling — per-unit retry/quarantine, pool respawn,
+deadlines — is documented in ``docs/robustness.md``.  See EXPERIMENTS.md
 for a walk-through.
 """
 
@@ -27,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 import time
 from typing import List, Optional, Sequence, Tuple
@@ -37,7 +44,9 @@ from ..obs.events import CampaignFinished, CampaignStarted
 from ..obs.log import LOG_LEVELS, configure_logging, get_logger
 from ..obs.sink import EventSink, events_path, iter_event_records
 from ..sim.validation import SimulationConfig
-from .executor import build_protocols, execute_plan
+from . import faultinject
+from .executor import RetryPolicy, build_protocols, execute_units, plan_runner
+from .merge import merge_stores
 from .planner import (
     CAMPAIGN_MODES,
     KNOWN_PROTOCOLS,
@@ -47,9 +56,11 @@ from .planner import (
     CampaignPlan,
     campaign_manifest,
     grid_scenarios,
+    manifest_shard,
     plan_campaign,
     plan_from_manifest,
     select_scenarios,
+    shard_units,
 )
 from .store import CampaignStore, StoreError
 
@@ -83,6 +94,20 @@ def _parse_protocols(text: str) -> List[str]:
     if len(set(names)) != len(names):
         raise argparse.ArgumentTypeError(f"duplicate protocol names in {text!r}")
     return names
+
+
+def _parse_shard(text: str) -> Tuple[int, int]:
+    try:
+        index, count = (int(part) for part in text.split("/", 1))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N (e.g. 0/4), got {text!r}"
+        )
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"invalid shard spec {text!r}: need 0 <= I < N (shards are 0-based)"
+        )
+    return index, count
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,6 +160,29 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable the out-of-band telemetry/event stream "
             "(events.jsonl); result bytes are identical either way",
+        )
+        sub.add_argument(
+            "--max-attempts",
+            type=int,
+            default=RetryPolicy.max_attempts,
+            metavar="N",
+            help="executions per unit before it is quarantined to "
+            "quarantine.jsonl (failures never abort the campaign)",
+        )
+        sub.add_argument(
+            "--unit-deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-unit wall-clock deadline; overruns become 'timeout' "
+            "errors (POSIX only)",
+        )
+        sub.add_argument(
+            "--fault-plan",
+            default=None,
+            metavar="PATH",
+            help="fault-injection plan JSON for chaos testing (exported as "
+            f"{faultinject.ENV_VAR} to this run and its workers)",
         )
 
     run = commands.add_parser("run", help="plan and execute a campaign")
@@ -226,6 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_PATH_SIGNATURES,
         help="cap on enumerated path signatures for the EP analysis",
     )
+    run.add_argument(
+        "--shard",
+        type=_parse_shard,
+        default=None,
+        metavar="I/N",
+        help="execute only the deterministic I-th of N slices of the "
+        "work-unit grid (one store directory per shard; recombine with "
+        "'merge')",
+    )
     add_execution(run)
 
     resume = commands.add_parser(
@@ -236,6 +293,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     status = commands.add_parser("status", help="progress report of a store")
     add_store(status)
+
+    merge = commands.add_parser(
+        "merge",
+        help="merge partial shard stores of one campaign into a single store",
+    )
+    merge.add_argument(
+        "sources",
+        nargs="+",
+        metavar="SHARD_DIR",
+        help="partial store directories to merge (shards of one campaign)",
+    )
+    merge.add_argument(
+        "--into",
+        required=True,
+        metavar="DIR",
+        help="destination store directory (fresh, or the same campaign)",
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -365,6 +439,15 @@ def _execute(
     protocols = build_protocols(
         plan.protocol_names, plan.config.max_path_signatures
     )
+    # A sharded store executes only its deterministic slice of the grid;
+    # the shard spec lives in the manifest, so resume needs no flags.
+    shard = manifest_shard(manifest or {})
+    units = shard_units(plan.units, *shard) if shard else plan.units
+    if getattr(args, "fault_plan", None):
+        # Chaos testing: the environment crosses the process-pool boundary,
+        # so every worker sees the same plan (docs/robustness.md).
+        os.environ[faultinject.ENV_VAR] = args.fault_plan
+    retry = RetryPolicy(max_attempts=args.max_attempts)
     printer = None if args.quiet else _ProgressPrinter()
     telemetry = not getattr(args, "no_telemetry", False)
     sink = EventSink(store.directory) if telemetry else None
@@ -375,54 +458,72 @@ def _execute(
                 CampaignStarted(
                     config_hash=(manifest or {}).get("config_hash", ""),
                     mode=plan.mode,
-                    total_units=len(plan.units),
+                    total_units=len(units),
                     workers=args.workers,
                     protocols=tuple(plan.protocol_names),
                 )
             )
-        except OSError:
+        except OSError as error:
             # An unwritable store directory must not fail the campaign;
             # results checkpointing will surface real storage problems.
+            get_logger("campaign.cli").warning(
+                "event stream unavailable (%s); continuing without telemetry",
+                error,
+            )
             sink = None
     try:
-        results = execute_plan(
-            plan,
-            protocols=protocols,
+        results = execute_units(
+            units,
+            protocols,
             workers=args.workers,
             store=store,
             progress=printer,
             chunk_size=args.chunk_size,
             max_units=args.max_units,
-            telemetry=telemetry,
+            runner=plan_runner(plan, telemetry=telemetry),
             events=sink,
+            retry=retry,
+            unit_deadline=args.unit_deadline,
         )
         if sink is not None:
             try:
                 sink.emit(
                     CampaignFinished(
                         completed=len(results),
-                        total=len(plan.units),
+                        total=len(units),
                         elapsed_seconds=round(time.monotonic() - started_at, 6),
                     )
                 )
-            except OSError:
-                pass
+            except OSError as error:
+                get_logger("campaign.cli").warning(
+                    "campaign-finished event emission failed (%s)", error
+                )
     finally:
         if printer is not None:
             printer.finish()
         if sink is not None:
             sink.close()
-    total = len(plan.units)
+    total = len(units)
     failures = sum(result.generation_failures for result in results)
+    shard_label = f" (shard {shard[0]}/{shard[1]})" if shard else ""
     print(
-        f"{len(results)}/{total} units complete "
+        f"{len(results)}/{total} units complete{shard_label} "
         f"({failures} failed task-set draws) in store {store.directory}"
     )
+    unresolved = store.unresolved_quarantine()
+    if unresolved:
+        kinds = sorted({
+            str(record.get("error_kind")) for record in unresolved.values()
+        })
+        print(
+            f"{len(unresolved)} unit(s) quarantined ({', '.join(kinds)}) — "
+            f"see {store.quarantine_path}; resume retries them"
+        )
     if len(results) < total:
         print("campaign incomplete — continue with: "
               f"python -m repro.campaign resume --store {store.directory}")
         return 3
-    return 0
+    return 3 if unresolved else 0
 
 
 # --------------------------------------------------------------------------- #
@@ -455,19 +556,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenarios, config, args.protocols, mode=args.mode, sim_config=sim_config
     )
     store = CampaignStore(args.store)
-    manifest = campaign_manifest(plan, workers=args.workers)
+    manifest = campaign_manifest(plan, workers=args.workers, shard=args.shard)
     resuming = store.exists()
     manifest = store.initialize(manifest)
     log = get_logger("campaign.cli")
     if resuming:
         log.info("store %s already holds this campaign — resuming", args.store)
     log.info(
-        "campaign: %d scenarios, %d work units, %d protocols, mode=%s, workers=%d",
+        "campaign: %d scenarios, %d work units, %d protocols, mode=%s, "
+        "workers=%d%s",
         len(scenarios),
         len(plan.units),
         len(plan.protocol_names),
         plan.mode,
         args.workers,
+        f", shard {args.shard[0]}/{args.shard[1]}" if args.shard else "",
     )
     return _execute(plan, store, args, manifest=manifest)
 
@@ -476,33 +579,80 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     store = CampaignStore(args.store)
     manifest = store.read_manifest()
     plan = plan_from_manifest(manifest)
-    pending = len(store.pending_ids(plan.unit_ids))
+    shard = manifest_shard(manifest)
+    units = shard_units(plan.units, *shard) if shard else plan.units
+    pending = len(store.pending_ids([unit.unit_id for unit in units]))
     get_logger("campaign.cli").info(
         "resuming campaign in %s: %d/%d units already complete",
         args.store,
-        len(plan.units) - pending,
-        len(plan.units),
+        len(units) - pending,
+        len(units),
     )
     return _execute(plan, store, args, manifest=manifest)
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    report = merge_stores(args.sources, args.into)
+    duplicate_note = (
+        f", {report.duplicates} duplicate(s) verified equal"
+        if report.duplicates
+        else ""
+    )
+    print(
+        f"merged {len(report.sources)} store(s) into {report.destination}: "
+        f"{report.units}/{report.total_units} units "
+        f"({report.written} newly written{duplicate_note})"
+    )
+    if report.healed:
+        print(f"{report.healed} quarantined unit(s) healed by a completed record")
+    if report.quarantined:
+        print(
+            f"{report.quarantined} unit(s) still quarantined — see "
+            f"{CampaignStore(report.destination).quarantine_path}"
+        )
+    if not report.complete:
+        print(
+            f"merged store incomplete — run the missing shards or continue "
+            f"with: python -m repro.campaign resume --store {report.destination}"
+        )
+        return 3
+    return 3 if report.quarantined else 0
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
     store = CampaignStore(args.store)
     manifest = store.read_manifest()
     plan = plan_from_manifest(manifest)
+    shard = manifest_shard(manifest)
+    units = shard_units(plan.units, *shard) if shard else plan.units
+    unit_ids = [unit.unit_id for unit in units]
     records = store.load_records()
-    done = sum(1 for unit_id in plan.unit_ids if unit_id in records)
-    total = len(plan.units)
+    done = sum(1 for unit_id in unit_ids if unit_id in records)
+    total = len(units)
     failures = sum(record.get("generation_failures", 0) for record in records.values())
     elapsed = sum(record.get("elapsed_seconds", 0.0) for record in records.values())
     print(f"store:          {store.directory}")
     print(f"config hash:    {manifest['config_hash'][:16]}…")
     print(f"mode:           {manifest['mode']}")
+    if shard:
+        print(f"shard:          {shard[0]}/{shard[1]} "
+              f"({total} of {len(plan.units)} planned units)")
     print(f"protocols:      {', '.join(manifest['protocols'])}")
     print(f"scenarios:      {len(plan.scenarios)}")
     print(f"units:          {done}/{total} complete "
           f"({100.0 * done / total if total else 100.0:.1f}%)")
     print(f"failed draws:   {failures}")
+    unresolved = store.unresolved_quarantine()
+    if unresolved:
+        kinds: dict = {}
+        for record in unresolved.values():
+            kind = str(record.get("error_kind"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+        breakdown = ", ".join(
+            f"{count}× {kind}" for kind, count in sorted(kinds.items())
+        )
+        print(f"quarantined:    {len(unresolved)} unit(s) ({breakdown}) — "
+              "resume retries them")
     if done:
         mean = elapsed / done
         print(f"unit time:      {mean:.2f}s mean, {elapsed:.1f}s total compute")
@@ -522,11 +672,15 @@ def _cmd_status(args: argparse.Namespace) -> int:
     events_file = events_path(store.directory)
     event_count = 0
     unit_events = 0
+    recovery = {"pool_crashed": 0, "unit_retried": 0, "unit_quarantined": 0}
     last_seq = None
     for record, _ in iter_event_records(events_file):
         event_count += 1
-        if record.get("type") == "unit_finished":
+        event_type = record.get("type")
+        if event_type == "unit_finished":
             unit_events += 1
+        if event_type in recovery:
+            recovery[event_type] += 1
         seq = record.get("seq")
         if isinstance(seq, int):
             last_seq = seq if last_seq is None else max(last_seq, seq)
@@ -536,13 +690,19 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"({unit_events} unit completions, last seq "
             f"{last_seq if last_seq is not None else 'n/a'})"
         )
+        if any(recovery.values()):
+            print(
+                f"recovery:       {recovery['pool_crashed']} pool crash(es), "
+                f"{recovery['unit_retried']} unit retry(ies), "
+                f"{recovery['unit_quarantined']} quarantine(s)"
+            )
         print(f"profile:        python -m repro.campaign profile "
               f"--store {store.directory}")
     incomplete = []
     for scenario in plan.scenarios:
         scenario_units = [
             unit.unit_id
-            for unit in plan.units
+            for unit in units
             if unit.scenario.scenario_id == scenario.scenario_id
         ]
         missing = sum(1 for unit_id in scenario_units if unit_id not in records)
@@ -689,6 +849,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "resume": _cmd_resume,
         "status": _cmd_status,
+        "merge": _cmd_merge,
         "profile": _cmd_profile,
         "report": _cmd_report,
         "export": _cmd_export,

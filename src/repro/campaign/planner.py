@@ -197,6 +197,29 @@ def plan_campaign(
     )
 
 
+def shard_units(
+    units: Sequence[WorkUnit], index: int, count: int
+) -> List[WorkUnit]:
+    """The deterministic slice of ``units`` owned by shard ``index``/``count``.
+
+    Round-robin by plan position (``units[index::count]``): every shard
+    gets an interleaved, near-equal share of each scenario's utilization
+    points, so the per-shard compute load is balanced even though low- and
+    high-utilization points cost very different amounts of analysis.  The
+    slice depends only on plan order — which is itself derived
+    deterministically from the manifest — so any host can recompute its
+    own shard (or a lost host's) from the manifest alone.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be at least 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(
+            f"shard index must be in [0, {count}), got {index} "
+            "(shards are 0-based: the first of N is 0/N)"
+        )
+    return list(units)[index::count]
+
+
 # --------------------------------------------------------------------------- #
 # Manifest (de)serialisation and hashing
 # --------------------------------------------------------------------------- #
@@ -266,13 +289,20 @@ def config_hash(manifest: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def campaign_manifest(plan: CampaignPlan, workers: Optional[int] = None) -> dict:
+def campaign_manifest(
+    plan: CampaignPlan,
+    workers: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> dict:
     """Build the manifest persisted alongside a campaign's results.
 
     ``workers`` records the launch's worker-process count as a purely
-    informational key (``status`` uses it for a parallel ETA).  It is
-    deliberately **outside** :func:`config_hash` — results are identical
-    at any worker count, so the hash must not depend on it.
+    informational key (``status`` uses it for a parallel ETA).  ``shard``
+    — an ``(index, count)`` pair — marks the store as holding one shard of
+    the campaign grid.  Both are deliberately **outside**
+    :func:`config_hash`: results are identical at any worker count, and
+    every shard of a campaign shares one configuration, so ``campaign
+    merge`` can verify shard stores belong together by comparing hashes.
     """
     if plan.config.seed is None:
         raise ValueError(
@@ -292,7 +322,21 @@ def campaign_manifest(plan: CampaignPlan, workers: Optional[int] = None) -> dict
     manifest["config_hash"] = config_hash(manifest)
     if workers is not None:
         manifest["workers"] = int(workers)
+    if shard is not None:
+        index, count = shard
+        # Validate through shard_units so manifest and execution agree on
+        # what a legal shard spec is.
+        shard_units(plan.units, index, count)
+        manifest["shard"] = {"index": int(index), "count": int(count)}
     return manifest
+
+
+def manifest_shard(manifest: dict) -> Optional[Tuple[int, int]]:
+    """The ``(index, count)`` shard spec of a manifest, or ``None``."""
+    shard = manifest.get("shard")
+    if shard is None:
+        return None
+    return int(shard["index"]), int(shard["count"])
 
 
 def plan_from_manifest(manifest: dict) -> CampaignPlan:

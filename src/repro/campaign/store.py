@@ -3,14 +3,20 @@
 Layout of a store directory::
 
     <store>/
-        manifest.json   # campaign description + config hash
-        results.jsonl   # one JSON record per completed work unit (append-only)
+        manifest.json     # campaign description + config hash (+ shard spec)
+        results.jsonl     # one JSON record per completed work unit (append-only)
+        quarantine.jsonl  # typed error records of quarantined units (optional)
 
 The store is append-only and crash-tolerant: every completed unit is written
 and flushed as one line, and a trailing partial line (from a killed process)
-is ignored on load.  Re-opening a store with a different configuration hash
-raises :class:`ConfigMismatchError` so results from mismatched campaigns are
-never mixed.
+is ignored on load.  The manifest is written atomically (tmp + fsync +
+``os.replace``), so a crash mid-write can never leave an unparseable
+manifest — at worst a stale ``manifest.json.tmp`` lingers, which
+initialisation removes.  Re-opening a store with a different configuration
+hash raises :class:`ConfigMismatchError` so results from mismatched
+campaigns are never mixed; re-opening a *shard* store under a different
+shard spec is refused the same way (each shard owns its own directory, and
+``campaign merge`` is the one path that combines them).
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from __future__ import annotations
 import json
 import os
 from datetime import datetime, timezone
-from typing import Dict, Iterable, Iterator, Set, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from .planner import FORMAT_VERSION, config_hash
 
@@ -31,11 +37,28 @@ class ConfigMismatchError(StoreError):
     """The store on disk was produced by a different campaign configuration."""
 
 
+def write_json_atomic(path: str, payload: dict) -> None:
+    """Write ``payload`` to ``path`` atomically (tmp + fsync + replace).
+
+    The temporary sibling is flushed and fsynced before the atomic
+    ``os.replace``, so a crash at any instant leaves either the old file,
+    the new file, or a stale ``.tmp`` — never a torn target.
+    """
+    temporary = path + ".tmp"
+    with open(temporary, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+
+
 class CampaignStore:
     """Append-only result store for one campaign directory."""
 
     MANIFEST_NAME = "manifest.json"
     RESULTS_NAME = "results.jsonl"
+    QUARANTINE_NAME = "quarantine.jsonl"
 
     def __init__(self, directory: str) -> None:
         self.directory = str(directory)
@@ -50,6 +73,11 @@ class CampaignStore:
         """Path of the JSONL results file."""
         return os.path.join(self.directory, self.RESULTS_NAME)
 
+    @property
+    def quarantine_path(self) -> str:
+        """Path of the JSONL quarantine file (error records of failed units)."""
+        return os.path.join(self.directory, self.QUARANTINE_NAME)
+
     def exists(self) -> bool:
         """Whether the directory already holds a campaign manifest."""
         return os.path.isfile(self.manifest_path)
@@ -62,18 +90,24 @@ class CampaignStore:
 
         Returns the manifest that is now on disk.  Raises
         :class:`ConfigMismatchError` when the directory already holds a
-        campaign with a different configuration hash.
+        campaign with a different configuration hash, or a shard store
+        with a different shard spec (shards never share a directory —
+        combine them with ``campaign merge`` instead).  A stale
+        ``manifest.json.tmp`` left by a crash between the temporary write
+        and its atomic replace is removed.
         """
+        os.makedirs(self.directory, exist_ok=True)
+        stale = self.manifest_path + ".tmp"
+        if os.path.exists(stale):
+            # Leftover of a writer killed before its os.replace: the real
+            # manifest (if any) is intact, the tmp is garbage.
+            os.unlink(stale)
         if self.exists():
             existing = self.read_manifest()
             self._check_hash(existing, manifest["config_hash"])
+            self._check_shard(existing, manifest.get("shard"))
             return existing
-        os.makedirs(self.directory, exist_ok=True)
-        temporary = self.manifest_path + ".tmp"
-        with open(temporary, "w") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(temporary, self.manifest_path)
+        write_json_atomic(self.manifest_path, manifest)
         return manifest
 
     def read_manifest(self) -> dict:
@@ -121,17 +155,30 @@ class CampaignStore:
                 "rerun with the original configuration"
             )
 
+    def _check_shard(self, manifest: dict, expected_shard) -> None:
+        """Refuse re-opening a shard store under a different shard spec."""
+        stored = manifest.get("shard")
+        if stored != expected_shard:
+            def spec(value):
+                if not value:
+                    return "unsharded"
+                return f"shard {value['index']}/{value['count']}"
+            raise ConfigMismatchError(
+                f"store {self.directory!r} holds {spec(stored)} of this "
+                f"campaign but {spec(expected_shard)} was requested; each "
+                "shard needs its own --store directory (combine them with "
+                "'campaign merge')"
+            )
+
     # ------------------------------------------------------------------ #
     # Results
     # ------------------------------------------------------------------ #
-    def append(self, record: dict) -> None:
-        """Append one completed-unit record (flushed immediately)."""
+    def _append_line(self, path: str, record: dict) -> None:
+        """Append one record as a flushed, fsynced JSONL line to ``path``."""
         if "unit_id" not in record:
             raise StoreError("result record lacks a unit_id")
-        record = dict(record)
-        record.setdefault("completed_at", _utcnow_iso())
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        with open(self.results_path, "a+b") as handle:
+        with open(path, "a+b") as handle:
             # Heal a torn trailing line left by a killed writer: without the
             # newline the new record would merge into the partial line and
             # every reader would silently skip both.
@@ -144,6 +191,24 @@ class CampaignStore:
             handle.flush()
             os.fsync(handle.fileno())
 
+    def append(self, record: dict) -> None:
+        """Append one completed-unit record (flushed immediately)."""
+        record = dict(record)
+        record.setdefault("completed_at", _utcnow_iso())
+        self._append_line(self.results_path, record)
+
+    def append_quarantine(self, record: dict) -> None:
+        """Append one quarantined-unit error record (flushed immediately).
+
+        Quarantine records live in ``quarantine.jsonl`` — a *sibling* of
+        the results file — so ``results.jsonl`` keeps holding successful
+        records only and its bytes stay comparable across faulty and
+        fault-free runs of the same campaign.
+        """
+        record = dict(record)
+        record.setdefault("quarantined_at", _utcnow_iso())
+        self._append_line(self.quarantine_path, record)
+
     def results_size(self) -> int:
         """Current byte size of the results file (0 when it does not exist)."""
         try:
@@ -151,7 +216,9 @@ class CampaignStore:
         except OSError:
             return 0
 
-    def iter_records(self, start_offset: int = 0) -> Iterator[Tuple[dict, int]]:
+    def iter_records(
+        self, start_offset: int = 0, path: Optional[str] = None
+    ) -> Iterator[Tuple[dict, int]]:
         """Stream completed-unit records from byte offset ``start_offset``.
 
         Yields ``(record, end_offset)`` pairs where ``end_offset`` is the byte
@@ -164,11 +231,14 @@ class CampaignStore:
         torn tail before writing, turning it into a malformed complete line.
         Malformed complete lines are skipped (matching :meth:`load_records`),
         and duplicate ``unit_id`` filtering is left to the caller, who knows
-        which units it already folded.
+        which units it already folded.  ``path`` overrides the file read
+        (the quarantine iterator reuses this machinery).
         """
-        if not os.path.isfile(self.results_path):
+        if path is None:
+            path = self.results_path
+        if not os.path.isfile(path):
             return
-        with open(self.results_path, "rb") as handle:
+        with open(path, "rb") as handle:
             handle.seek(start_offset)
             offset = start_offset
             for raw_line in handle:
@@ -200,6 +270,32 @@ class CampaignStore:
             if unit_id not in records:
                 records[unit_id] = record
         return records
+
+    def load_quarantine(self) -> Dict[str, dict]:
+        """All quarantined-unit error records, keyed by ``unit_id``.
+
+        The *last* record wins per unit (a later run's quarantine verdict
+        supersedes an earlier one — the opposite of :meth:`load_records`,
+        where the first checkpoint is immutable truth).  Torn trailing
+        lines and malformed complete lines are tolerated exactly like the
+        results file.  Callers deciding whether a unit is still *failed*
+        should additionally drop ids present in :meth:`load_records`: a
+        unit that completed on a retry or another shard is healed, and its
+        stale quarantine record is merely history.
+        """
+        records: Dict[str, dict] = {}
+        for record, _ in self.iter_records(path=self.quarantine_path):
+            records[record["unit_id"]] = record
+        return records
+
+    def unresolved_quarantine(self) -> Dict[str, dict]:
+        """Quarantine records of units with no successful checkpoint."""
+        completed = self.completed_ids()
+        return {
+            unit_id: record
+            for unit_id, record in self.load_quarantine().items()
+            if unit_id not in completed
+        }
 
     def completed_ids(self) -> Set[str]:
         """Identifiers of the units already checkpointed in this store."""

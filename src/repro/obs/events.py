@@ -4,7 +4,9 @@ Following the named-types idiom (one frozen class per message, a registry
 keyed by a stable type name), every observable campaign occurrence is its
 own dataclass: :class:`CampaignStarted`, :class:`UnitStarted`,
 :class:`UnitFinished`, :class:`UnitTelemetry`, :class:`SolveStats`,
-:class:`SimTruncated`, :class:`CacheStats`, :class:`CampaignFinished`.
+:class:`SimTruncated`, :class:`CacheStats`, :class:`CampaignFinished`,
+and the fault-tolerance trio :class:`PoolCrashed`, :class:`UnitRetried`,
+:class:`UnitQuarantined`.
 Events are pure immutable payloads; the *envelope* — monotonic sequence
 number and wall-clock timestamp — is stamped by
 :class:`repro.obs.sink.EventSink` when a record is appended to
@@ -179,6 +181,55 @@ class CacheStats(Event):
     units_from_cache: int = 0
     units_folded: int = 0
     miss_reason: Optional[str] = None
+
+
+@_register
+@dataclass(frozen=True)
+class PoolCrashed(Event):
+    """The worker pool broke (a worker was killed) and is being respawned.
+
+    ``respawn`` counts consecutive pool losses without an intervening
+    completed chunk; ``backoff_seconds`` is the capped exponential pause
+    taken before the respawn; ``inflight_units`` is how many units were
+    requeued from the futures that died with the pool.
+    """
+
+    TYPE = "pool_crashed"
+
+    respawn: int
+    backoff_seconds: float
+    inflight_units: int
+
+
+@_register
+@dataclass(frozen=True)
+class UnitRetried(Event):
+    """A failed work unit was requeued for another execution attempt."""
+
+    TYPE = "unit_retried"
+
+    unit_id: str
+    attempt: int
+    error_kind: str
+
+
+@_register
+@dataclass(frozen=True)
+class UnitQuarantined(Event):
+    """A work unit exhausted its attempts and was quarantined.
+
+    The unit's typed error record lands in the store's
+    ``quarantine.jsonl`` sibling file; this event mirrors it into the
+    observability stream so ``status``/``profile`` surface the failure
+    without re-reading the quarantine file.
+    """
+
+    TYPE = "unit_quarantined"
+
+    unit_id: str
+    error_kind: str
+    attempts: int
+    error_message: str = ""
 
 
 @_register

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 import math
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..campaign.executor import UnitResult, assemble_sweep
@@ -99,6 +99,10 @@ class StoreAggregate:
     generation_failures: int = 0
     evaluated_samples: int = 0
     elapsed_seconds: float = 0.0
+    #: Unresolved quarantine records by unit id (units that exhausted their
+    #: execution attempts and have no successful checkpoint; see
+    #: ``docs/robustness.md``).  Empty for fault-free stores.
+    quarantined: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def protocols(self) -> List[str]:
@@ -376,7 +380,13 @@ class StoreAggregator:
             tel.count("aggregate.units_from_cache", stats.units_from_cache)
             tel.count("aggregate.units_folded", stats.units_folded)
 
-        return self._assemble(manifest, plan, points, stats)
+        aggregate = self._assemble(manifest, plan, points, stats)
+        # Quarantine accounting rides along uncached: the file is tiny
+        # (failures are exceptional) and a record can be healed by a later
+        # successful run, so re-deriving it each pass is both cheap and
+        # the only correct option.
+        aggregate.quarantined = self.store.unresolved_quarantine()
+        return aggregate
 
     def _assemble(
         self,

@@ -177,23 +177,23 @@ def render_markdown_report(
     incomplete = aggregate.incomplete_reports()
 
     parts: List[str] = ["# Campaign report", ""]
-    parts.append(
-        _markdown_table(
-            ("", ""),
-            [
-                ("Config hash", f"`{manifest.get('config_hash', '')[:16]}…`"),
-                ("Mode", aggregate.mode),
-                ("Protocols", ", ".join(aggregate.protocols)),
-                ("Scenarios", f"{len(complete)}/{len(aggregate.scenarios)} complete"),
-                (
-                    "Work units",
-                    f"{aggregate.completed_units}/{aggregate.total_units} stored",
-                ),
-                ("Evaluated task sets", str(aggregate.evaluated_samples)),
-                ("Failed task-set draws", str(aggregate.generation_failures)),
-            ],
-        )
-    )
+    summary_rows = [
+        ("Config hash", f"`{manifest.get('config_hash', '')[:16]}…`"),
+        ("Mode", aggregate.mode),
+        ("Protocols", ", ".join(aggregate.protocols)),
+        ("Scenarios", f"{len(complete)}/{len(aggregate.scenarios)} complete"),
+        (
+            "Work units",
+            f"{aggregate.completed_units}/{aggregate.total_units} stored",
+        ),
+        ("Evaluated task sets", str(aggregate.evaluated_samples)),
+        ("Failed task-set draws", str(aggregate.generation_failures)),
+    ]
+    if aggregate.quarantined:
+        # Conditional on purpose: fault-free reports keep their exact
+        # historical bytes (golden-file pinned).
+        summary_rows.append(("Quarantined units", str(len(aggregate.quarantined))))
+    parts.append(_markdown_table(("", ""), summary_rows))
     parts.append("")
     if incomplete:
         parts.append(
@@ -259,6 +259,33 @@ def render_markdown_report(
                 f"- `{report.scenario.scenario_id}`: "
                 f"{report.points_done}/{report.points_total} points"
             )
+        parts.append("")
+
+    if aggregate.quarantined:
+        parts.append(f"## Quarantined units ({len(aggregate.quarantined)})")
+        parts.append("")
+        parts.append(
+            "These units exhausted their execution attempts and hold no "
+            "successful checkpoint; their error records live in "
+            "`quarantine.jsonl`.  Resuming the campaign retries them."
+        )
+        parts.append("")
+        parts.append(
+            _markdown_table(
+                ("Unit", "Error kind", "Attempts", "Message"),
+                [
+                    [
+                        f"`{unit_id}`",
+                        str(record.get("error_kind", "?")),
+                        str(record.get("attempts", "?")),
+                        str(record.get("error_message", "")),
+                    ]
+                    for unit_id, record in sorted(
+                        aggregate.quarantined.items()
+                    )
+                ],
+            )
+        )
         parts.append("")
 
     return "\n".join(parts).rstrip() + "\n"

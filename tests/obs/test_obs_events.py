@@ -9,9 +9,12 @@ from repro.obs.events import (
     CacheStats,
     CampaignFinished,
     CampaignStarted,
+    PoolCrashed,
     SimTruncated,
     SolveStats,
     UnitFinished,
+    UnitQuarantined,
+    UnitRetried,
     UnitStarted,
     UnitTelemetry,
     event_from_record,
@@ -40,6 +43,14 @@ SAMPLES = [
     SolveStats(unit_id="s1:p00", scalar_calls=5, converged=4, iterations=12),
     SimTruncated(unit_id="s1:p00", truncated=1, simulated=3, events=150000),
     CacheStats(cache="aggregate", hit=False, miss_reason="cold"),
+    PoolCrashed(respawn=2, backoff_seconds=1.0, inflight_units=3),
+    UnitRetried(unit_id="s1:p00", attempt=2, error_kind="ValueError"),
+    UnitQuarantined(
+        unit_id="s1:p00",
+        error_kind="worker_crash",
+        attempts=3,
+        error_message="worker process died while executing this unit",
+    ),
     CampaignFinished(completed=8, total=8, elapsed_seconds=1.5),
 ]
 
