@@ -20,6 +20,18 @@ timings, and writes a JSON report next to the repository root:
   component (only where a baseline measurement exists; benchmark variants
   without a counterpart — e.g. a newly added ``-reference`` oracle id — are
   compared against the same component's baseline via the alias table).
+* ``campaign`` — the macro-benchmark the north star actually cares about:
+  one fixed-seed utilization point executed cold through the campaign
+  executor three ways (the seed's per-sample reference loop, the
+  per-sample kernel loop, and the arena-batched path), reported as
+  wall-clock seconds per 1000 task sets with ``speedup_vs_seed`` /
+  ``speedup_vs_prev`` ratios (``--skip-campaign`` omits the section).
+  ``--check-campaign BASELINE.json`` turns the section into a CI gate:
+  the run fails when the arena arm regressed by more than
+  :data:`CAMPAIGN_REGRESSION_BUDGET_PERCENT` versus the committed
+  baseline, after normalising out machine speed via the same-run
+  per-sample kernel arm (shared runners differ several-fold in absolute
+  speed; the arena/per-sample ratio is what the arena can regress).
 * ``telemetry_overhead`` — the EP/EN/SPIN/LPP kernels timed with an
   active :mod:`repro.obs.telemetry` session against the disabled default,
   as per-kernel and median overhead percentages (in-process interleaved
@@ -78,6 +90,13 @@ def baseline_name(name: str, baseline: dict) -> str:
 
 #: Observability budget: median kernel overhead with telemetry enabled.
 OVERHEAD_BUDGET_PERCENT = 2.0
+
+#: CI budget for the campaign macro-benchmark: the arena arm may be at most
+#: this much slower (machine-normalised) than the committed baseline.
+CAMPAIGN_REGRESSION_BUDGET_PERCENT = 10.0
+
+#: Fixed seed of the campaign macro-benchmark (generation + sweep identity).
+CAMPAIGN_SEED = 777
 
 
 def run_benchmarks(selector: str, env_extra: dict = None) -> dict:
@@ -249,28 +268,182 @@ def measure_telemetry_overhead(
     }
 
 
+def measure_campaign_macro(samples: int = 40, prev_campaign: dict = None) -> dict:
+    """Wall-clock per 1000 task sets through the campaign executor, cold.
+
+    One fixed-seed utilization point (wide DAGs under light per-request
+    contention on a 32-core platform — the regime the paper's Fig. 2-style
+    sweeps live in) is executed three ways, each arm timed around a fresh
+    :func:`repro.campaign.executor.execute_unit` call so every arm pays
+    generation and table compilation cold:
+
+    * ``per_sample_seed`` — the per-sample loop over the **reference**
+      engine suite: the seed implementation this repository started from,
+      and the baseline ``speedup_vs_seed`` compares against (matching the
+      component table's convention, where ``seed_us`` records the
+      pre-kernel medians).
+    * ``per_sample_kernel`` — the per-sample loop over today's scalar
+      kernels (the ``--batch-size``-omitted default), so the report also
+      shows what batching adds *beyond* the already-kernelised loop.
+    * ``arena`` — the same kernel suite through the cross-taskset arena
+      (``--batch-size 0``: the whole unit in shared batched waves).
+
+    The kernel and arena arms must agree exactly on acceptance counts
+    (identical-by-construction verdicts); a mismatch raises instead of
+    recording a benchmark of two different computations.
+    """
+    for path in (os.path.join(REPO_ROOT, "src"),):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    from repro.analysis import DpcpPEnTest, DpcpPEpTest, LppTest, SpinTest
+    from repro.analysis.dpcp_p import ENGINE_REFERENCE
+    from repro.campaign.executor import execute_unit
+    from repro.campaign.planner import plan_scenario_units
+    from repro.experiments.runner import SweepConfig
+    from repro.experiments.scenarios import Scenario
+
+    scenario = Scenario(
+        platform_size=32,
+        resource_count_range=(8, 16),
+        average_utilization=1.5,
+        access_probability=1.0,
+        request_count_range=(1, 10),
+        cs_length_range=(1.0, 15.0),
+        num_vertices_range=(10, 16),
+    )
+    sweep = SweepConfig(
+        samples_per_point=samples,
+        utilization_step_fraction=0.3,
+        seed=CAMPAIGN_SEED,
+    )
+    unit = plan_scenario_units(scenario, sweep)[0]
+
+    def reference_suite():
+        return [
+            SpinTest(engine=ENGINE_REFERENCE),
+            LppTest(engine=ENGINE_REFERENCE),
+            DpcpPEpTest(engine=ENGINE_REFERENCE),
+            DpcpPEnTest(engine=ENGINE_REFERENCE),
+        ]
+
+    def kernel_suite():
+        return [SpinTest(), LppTest(), DpcpPEpTest(), DpcpPEnTest()]
+
+    arms = [
+        ("per_sample_seed", reference_suite, None),
+        ("per_sample_kernel", kernel_suite, None),
+        ("arena", kernel_suite, 0),
+    ]
+    seconds_per_1k, results = {}, {}
+    for name, suite, batch_size in arms:
+        protocols = suite()
+        started = time.perf_counter()
+        result = execute_unit(unit, protocols, batch_size=batch_size)
+        elapsed = time.perf_counter() - started
+        results[name] = result
+        evaluated = max(result.evaluated, 1)
+        seconds_per_1k[name] = round(elapsed / evaluated * 1000.0, 3)
+    if results["arena"].accepted != results["per_sample_kernel"].accepted:
+        raise AssertionError(
+            "arena and per-sample kernel arms disagree on acceptance: "
+            f"{results['arena'].accepted} vs "
+            f"{results['per_sample_kernel'].accepted}"
+        )
+
+    prev_arena = (prev_campaign or {}).get("seconds_per_1k", {}).get("arena")
+    arena = seconds_per_1k["arena"]
+    return {
+        "workload": (
+            f"campaign unit {unit.unit_id} (m=32, nr=8..16, U=1.5, pr=1.0, "
+            f"N=1..10, L=1..15us, v=10..16) at total utilization "
+            f"{unit.utilization}, {samples} samples, seed {CAMPAIGN_SEED}, "
+            "each arm cold through execute_unit"
+        ),
+        "unit_id": unit.unit_id,
+        "utilization": unit.utilization,
+        "samples_per_point": samples,
+        "evaluated": results["arena"].evaluated,
+        "generation_failures": results["arena"].generation_failures,
+        "accepted": dict(results["arena"].accepted),
+        "seconds_per_1k": seconds_per_1k,
+        "speedup_vs_seed": round(seconds_per_1k["per_sample_seed"] / arena, 2),
+        "speedup_vs_kernel_loop": round(
+            seconds_per_1k["per_sample_kernel"] / arena, 2
+        ),
+        "speedup_vs_prev": (
+            round(prev_arena / arena, 2) if prev_arena else None
+        ),
+    }
+
+
+def check_campaign_regression(campaign: dict, baseline_path: str) -> str:
+    """CI gate: error text if the arena arm regressed beyond budget, else ``""``.
+
+    Absolute wall-clock is machine-bound (shared CI runners differ
+    several-fold), so the comparison normalises both sides by their own
+    per-sample kernel arm: what may not regress is how much faster the
+    arena is than the per-sample loop *on the same machine*.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh).get("campaign", {})
+    base = baseline.get("seconds_per_1k", {})
+    if not base.get("arena") or not base.get("per_sample_kernel"):
+        return f"no campaign baseline in {baseline_path}"
+    current = campaign["seconds_per_1k"]
+    base_ratio = base["arena"] / base["per_sample_kernel"]
+    current_ratio = current["arena"] / current["per_sample_kernel"]
+    regression = 100.0 * (current_ratio / base_ratio - 1.0)
+    if regression > CAMPAIGN_REGRESSION_BUDGET_PERCENT:
+        return (
+            f"arena wall-clock per 1k task sets regressed {regression:+.1f}% "
+            f"vs {os.path.basename(baseline_path)} (budget "
+            f"{CAMPAIGN_REGRESSION_BUDGET_PERCENT}%): "
+            f"normalised {current_ratio:.3f} vs baseline {base_ratio:.3f}"
+        )
+    return ""
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=os.path.join(REPO_ROOT, "BENCH_PR6.json"),
-        help="output report path (default: BENCH_PR6.json at the repo root)",
+        default=os.path.join(REPO_ROOT, "BENCH_PR8.json"),
+        help="output report path (default: BENCH_PR8.json at the repo root)",
     )
     parser.add_argument(
         "--seed-from",
-        default=os.path.join(REPO_ROOT, "BENCH_PR3.json"),
+        default=os.path.join(REPO_ROOT, "BENCH_PR6.json"),
         help="existing report whose seed_us section is carried over "
         "(falls back to --prev-from when missing)",
     )
     parser.add_argument(
         "--prev-from",
-        default=os.path.join(REPO_ROOT, "BENCH_PR3.json"),
+        default=os.path.join(REPO_ROOT, "BENCH_PR6.json"),
         help="previous PR's report; its current_us becomes this report's prev_us",
     )
     parser.add_argument(
         "--skip-overhead",
         action="store_true",
         help="omit the telemetry on-vs-off overhead measurement",
+    )
+    parser.add_argument(
+        "--skip-campaign",
+        action="store_true",
+        help="omit the campaign macro-benchmark section",
+    )
+    parser.add_argument(
+        "--campaign-samples",
+        type=int,
+        default=40,
+        help="samples per point of the campaign macro-benchmark workload",
+    )
+    parser.add_argument(
+        "--check-campaign",
+        default=None,
+        metavar="BASELINE.json",
+        help="fail (exit 1) when the arena arm's machine-normalised "
+        "wall-clock per 1k task sets regressed more than "
+        f"{CAMPAIGN_REGRESSION_BUDGET_PERCENT}%% vs this committed report",
     )
     parser.add_argument(
         "--baseline-json",
@@ -286,7 +459,16 @@ def main(argv=None) -> int:
 
     seed = load_seed_baseline(args)
     prev = load_prev_recording(args)
+    prev_campaign = {}
+    if args.prev_from and os.path.exists(args.prev_from):
+        with open(args.prev_from) as fh:
+            prev_campaign = json.load(fh).get("campaign", {})
     current = run_benchmarks(args.selector)
+    campaign = (
+        None
+        if args.skip_campaign
+        else measure_campaign_macro(args.campaign_samples, prev_campaign)
+    )
     overhead = None if args.skip_overhead else measure_telemetry_overhead()
 
     report = {
@@ -304,6 +486,8 @@ def main(argv=None) -> int:
         "speedup_vs_seed": speedups(current, seed),
         "speedup_vs_prev": speedups(current, prev),
     }
+    if campaign is not None:
+        report["campaign"] = campaign
     if overhead is not None:
         report["telemetry_overhead"] = overhead
     with open(args.out, "w") as fh:
@@ -328,6 +512,16 @@ def main(argv=None) -> int:
             f"{name:<{width}}  {value:>10.1f}  {prev_txt}  {seed_txt}  "
             f"{prev_ratio:>7}  {seed_ratio:>7}"
         )
+    if campaign is not None:
+        print("\ncampaign macro-benchmark (wall-clock seconds per 1k task sets)")
+        for arm in ("per_sample_seed", "per_sample_kernel", "arena"):
+            print(f"  {arm:<20} {campaign['seconds_per_1k'][arm]:>10.3f}")
+        vs_prev = campaign["speedup_vs_prev"]
+        print(
+            f"  arena speedup: {campaign['speedup_vs_seed']:.2f}x vs seed, "
+            f"{campaign['speedup_vs_kernel_loop']:.2f}x vs kernel loop, "
+            + (f"{vs_prev:.2f}x vs prev" if vs_prev else "no prev recording")
+        )
     if overhead is not None:
         print(
             f"\ntelemetry overhead (budget ≤{overhead['budget_percent']}% median)"
@@ -338,6 +532,18 @@ def main(argv=None) -> int:
         verdict = "within" if overhead["within_budget"] else "OVER"
         print(f"{'median':<{width}}  {median:>+7.2f}%  ({verdict} budget)")
     print(f"\nwrote {args.out}")
+    if args.check_campaign:
+        if campaign is None:
+            print("--check-campaign needs the campaign section", file=sys.stderr)
+            return 1
+        failure = check_campaign_regression(campaign, args.check_campaign)
+        if failure:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"campaign gate: within {CAMPAIGN_REGRESSION_BUDGET_PERCENT}% of "
+            f"{args.check_campaign}"
+        )
     return 0
 
 

@@ -173,32 +173,38 @@ class DpcpPKernel:
         m = partition.platform.num_processors
         self._num_procs = m
 
-        # Per-processor request-workload coefficients and beta values.
-        W = [[0.0] * m for _ in range(n)]
-        beta = [[0.0] * m for _ in range(n)]
-        prios = self._prios_list
-        for rid, proc in partition.resource_assignment.items():
-            ceiling = tables.resource_ceiling(rid)
-            for j in range(n):
-                pair = self._usages[j].get(rid)
-                if pair is None or pair[0] == 0.0:
-                    continue
-                count, cs = pair
-                W[j][proc] += count * cs
-                prio_j = prios[j]
-                row = beta
-                for i in range(n):
-                    if prio_j < prios[i] <= ceiling and cs > row[i][proc]:
-                        row[i][proc] = cs
-        self._W_list = W
-        self._beta_list = beta
+        # Per-processor request-workload coefficients and beta values,
+        # folded one resource column at a time.  Bit-identity with the
+        # per-cell Python loop this replaces: within one resource every task
+        # index appears once (no accumulation-order ambiguity inside the
+        # fancy-indexed add), resources fold in assignment order as before,
+        # and beta is a running maximum — order-independent by construction.
+        assignment = partition.resource_assignment
+        count = len(assignment)
+        procs = np.empty(count, dtype=np.intp)
+        work_rows = np.empty((count, n))
+        beta_rows = np.empty((count, n))
+        for row, (rid, proc) in enumerate(assignment.items()):
+            work_row, beta_row = tables.fold_rows(rid)
+            procs[row] = proc
+            work_rows[row] = work_row
+            beta_rows[row] = beta_row
+        W_t = np.zeros((m, n))
+        np.add.at(W_t, procs, work_rows)
+        beta_t = np.zeros((m, n))
+        np.maximum.at(beta_t, procs, beta_rows)
+        W = np.ascontiguousarray(W_t.T)
+        beta = beta_t.T
+        self._W_list = W.tolist()
+        self._beta_list = beta.tolist()
         self._active_proc_list = sorted(
             {proc for proc in partition.resource_assignment.values()}
         )
         self._local_resources = tables.local_resources
         self._lanes: Dict[int, _TaskLane] = {}
-        # NumPy coefficient views, materialized lazily by the batched path.
-        self._W_np: Optional[np.ndarray] = None
+        # NumPy coefficient views; the active-processor slice is cut lazily
+        # by the batched path.
+        self._W_np: np.ndarray = W
         self._W_active: Optional[np.ndarray] = None
         self._active_procs: Optional[np.ndarray] = None
 
@@ -270,8 +276,7 @@ class DpcpPKernel:
 
     def _ensure_batched_arrays(self, lane: _TaskLane) -> None:
         """Materialize the NumPy views the batched path needs."""
-        if self._W_np is None:
-            self._W_np = np.array(self._W_list)
+        if self._W_active is None:
             self._active_procs = np.array(self._active_proc_list, dtype=np.intp)
             self._W_active = np.ascontiguousarray(self._W_np[:, self._active_procs])
         if lane.hp is None:

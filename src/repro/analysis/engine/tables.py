@@ -108,6 +108,8 @@ class CompiledTaskset:
         self.carried_list: List[float] = self.carried.tolist()
         self._task_tables: Dict[int, CompiledTask] = {}
         self._users: Dict[int, List[Tuple[int, float, float]]] = {}
+        self._user_arrays: Dict[int, Tuple[np.ndarray, ...]] = {}
+        self._fold_rows: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         #: Protocol-specific lane caches (e.g. ``"spin"`` / ``"lpp"`` /
         #: ``"dpcp_p"``), so each protocol compiles its per-task columns once
         #: per task set no matter how many tests run over it.
@@ -205,6 +207,55 @@ class CompiledTaskset:
                     col.append((j, pair[0], pair[1]))
             self._users[resource_id] = col
         return col
+
+    def user_arrays(
+        self, resource_id: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Array view of :meth:`users`: ``(indices, N*L work, L, priorities)``.
+
+        Cached per resource; the partition-dependent kernels use it to fold
+        a whole user column into their coefficient matrices with a handful
+        of NumPy calls instead of a per-task Python loop.
+        """
+        arrays = self._user_arrays.get(resource_id)
+        if arrays is None:
+            col = self.users(resource_id)
+            idx = np.array([j for j, _n, _l in col], dtype=np.intp)
+            work = np.array([n * l for _j, n, l in col])
+            cs = np.array([l for _j, _n, l in col])
+            arrays = (idx, work, cs, self.prios[idx])
+            self._user_arrays[resource_id] = arrays
+        return arrays
+
+    def fold_rows(self, resource_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense per-task fold rows of one resource: ``(work, beta)``.
+
+        ``work[j]`` is task :math:`\\tau_j`'s request workload
+        :math:`N_{j,q} L_{j,q}` on the resource; ``beta[i]`` is the longest
+        critical section a lower-priority user can hold against
+        :math:`\\tau_i` under the resource's priority ceiling.  Both depend
+        only on task-static data, so the partition-dependent kernels fold a
+        whole resource assignment with one ``np.add.at`` /
+        ``np.maximum.at`` pair over these cached rows.
+        """
+        rows = self._fold_rows.get(resource_id)
+        if rows is None:
+            idx, work, cs, user_prios = self.user_arrays(resource_id)
+            n = len(self.tasks)
+            work_row = np.zeros(n)
+            work_row[idx] = work
+            beta_row = np.zeros(n)
+            if idx.size:
+                ceiling = self.resource_ceiling(resource_id)
+                blocked = (user_prios[:, None] < self.prios[None, :]) & (
+                    self.prios[None, :] <= ceiling
+                )
+                np.max(
+                    np.where(blocked, cs[:, None], 0.0), axis=0, out=beta_row
+                )
+            rows = (work_row, beta_row)
+            self._fold_rows[resource_id] = rows
+        return rows
 
     def resource_ceiling(self, resource_id: int) -> int:
         """Priority ceiling of a resource: max base priority of its users (cached).

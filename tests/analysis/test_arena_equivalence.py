@@ -1,0 +1,166 @@
+"""Cross-taskset arena equivalence (PR 8).
+
+The arena (:mod:`repro.analysis.engine.arena`) solves many task sets'
+fixed points in shared batched waves; its contract is *identical by
+construction* verdicts — bit-for-bit equal WCRTs, reasons, and partitions
+versus calling each kernel test per task set, and ≤ 1e-9 agreement versus
+the straight-line reference oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dpcp_p import ENGINE_REFERENCE, DpcpPEnTest, DpcpPEpTest
+from repro.analysis.engine.arena import arena_capable, run_arena
+from repro.analysis.lpp import LppTest
+from repro.analysis.spin import SpinTest
+from repro.generation import (
+    DagGenerationConfig,
+    GenerationError,
+    ResourceGenerationConfig,
+    TaskSetGenerationConfig,
+    generate_taskset,
+)
+from repro.model import Platform
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+TOLERANCE = 1e-9
+
+CONFIG = TaskSetGenerationConfig(
+    average_utilization=1.5,
+    dag=DagGenerationConfig(num_vertices_range=(5, 10), edge_probability=0.15),
+    resources=ResourceGenerationConfig(
+        num_resources_range=(3, 6),
+        access_probability=0.8,
+        request_count_range=(1, 10),
+        cs_length_range=(5.0, 30.0),
+    ),
+)
+PLATFORM = Platform(16)
+
+
+def kernel_suite():
+    """A fresh four-protocol kernel suite (the arena-capable set)."""
+    return [SpinTest(), LppTest(), DpcpPEpTest(), DpcpPEnTest()]
+
+
+def sample_tasksets(seed, count=8, utilization=5.0):
+    """Draw up to ``count`` task sets from one seed's spawned streams."""
+    tasksets = []
+    for rng in spawn_rngs(ensure_rng(seed), count):
+        try:
+            tasksets.append(generate_taskset(utilization, CONFIG, rng))
+        except GenerationError:
+            continue
+    return tasksets
+
+
+def assert_verdicts_bit_identical(serial, batched):
+    """Arena verdicts must equal the per-taskset kernel's exactly."""
+    assert serial.schedulable == batched.schedulable
+    assert serial.protocol == batched.protocol
+    assert serial.reason == batched.reason
+    left = serial.task_analyses or {}
+    right = batched.task_analyses or {}
+    assert left.keys() == right.keys()
+    for task_id in left:
+        a, b = left[task_id].wcrt, right[task_id].wcrt
+        if math.isinf(a) or math.isinf(b):
+            assert math.isinf(a) and math.isinf(b), f"task {task_id}: {a} vs {b}"
+        else:
+            assert a == b, f"task {task_id}: {a!r} != {b!r}"
+        assert left[task_id].processors == right[task_id].processors
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_property_arena_matches_per_taskset_kernel(seed):
+    tasksets = sample_tasksets(seed, count=5)
+    if not tasksets:
+        return
+    tests = kernel_suite()
+    serial = {
+        test.name: [test.test(ts, PLATFORM) for ts in tasksets]
+        for test in kernel_suite()
+    }
+    batched = run_arena(tasksets, PLATFORM, tests)
+    assert batched.keys() == serial.keys()
+    for name in serial:
+        for left, right in zip(serial[name], batched[name]):
+            assert_verdicts_bit_identical(left, right)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 777, 2020])
+def test_fixed_seed_arena_matches_per_taskset_kernel(seed):
+    tasksets = sample_tasksets(seed)
+    assert tasksets, "fixed seed unexpectedly generated nothing"
+    tests = kernel_suite()
+    serial = {
+        test.name: [test.test(ts, PLATFORM) for ts in tasksets]
+        for test in kernel_suite()
+    }
+    for name, column in run_arena(tasksets, PLATFORM, tests).items():
+        for left, right in zip(serial[name], column):
+            assert_verdicts_bit_identical(left, right)
+
+
+@pytest.mark.parametrize("seed", [42, 777])
+def test_fixed_seed_arena_agrees_with_reference_oracle(seed):
+    """Arena WCRTs agree with the straight-line reference within 1e-9."""
+    tasksets = sample_tasksets(seed, count=5)
+    assert tasksets
+    reference_suite = [
+        SpinTest(engine=ENGINE_REFERENCE),
+        LppTest(engine=ENGINE_REFERENCE),
+        DpcpPEpTest(engine=ENGINE_REFERENCE),
+        DpcpPEnTest(engine=ENGINE_REFERENCE),
+    ]
+    reference = {
+        test.name: [test.test(ts, PLATFORM) for ts in tasksets]
+        for test in reference_suite
+    }
+    for name, column in run_arena(tasksets, PLATFORM, kernel_suite()).items():
+        for oracle, batched in zip(reference[name], column):
+            assert oracle.schedulable == batched.schedulable
+            left = oracle.task_analyses or {}
+            right = batched.task_analyses or {}
+            assert left.keys() == right.keys()
+            for task_id in left:
+                a, b = left[task_id].wcrt, right[task_id].wcrt
+                if math.isinf(a) or math.isinf(b):
+                    assert math.isinf(a) and math.isinf(b)
+                else:
+                    assert math.isclose(
+                        a, b, rel_tol=TOLERANCE, abs_tol=TOLERANCE
+                    ), f"{name} task {task_id}: {a!r} vs {b!r}"
+
+
+def test_arena_capability_probe():
+    """Kernel-engine suite instances are capable; everything else falls back."""
+    for test in kernel_suite():
+        assert arena_capable(test)
+    assert not arena_capable(SpinTest(engine=ENGINE_REFERENCE))
+    assert not arena_capable(DpcpPEpTest(engine=ENGINE_REFERENCE))
+
+    class OddTest(SpinTest):
+        """A subclass may override test(); the probe must refuse it."""
+
+    assert not arena_capable(OddTest())
+
+
+def test_run_arena_emits_batching_counters():
+    from repro.obs import telemetry
+
+    tasksets = sample_tasksets(42, count=4)
+    assert tasksets
+    with telemetry.session() as tel:
+        run_arena(tasksets, PLATFORM, kernel_suite())
+        counters = tel.to_dict()["counters"]
+    assert counters["arena.tasksets"] == len(tasksets)
+    assert counters["arena.batch_solves"] >= 1
+    assert counters["arena.requests"] >= counters["arena.batch_solves"]

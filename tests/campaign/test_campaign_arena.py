@@ -1,0 +1,152 @@
+"""Arena batching at the campaign level (PR 8).
+
+The ``--batch-size`` knob changes how a unit executes — per-sample loop,
+chunked arena solves, or one whole-unit arena — never what it records:
+with clocks frozen, ``results.jsonl`` must be byte-identical across every
+batch size and worker count, and acceptance counts identical in memory.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campaign import cli
+from repro.campaign.executor import build_protocols, execute_unit
+from repro.campaign.planner import plan_campaign
+from repro.experiments.runner import SweepConfig
+from repro.experiments.scenarios import Scenario
+
+from test_campaign_obs import RUN_FLAGS, _freeze_clocks, _read_bytes
+
+SCENARIO = Scenario(
+    platform_size=8,
+    resource_count_range=(2, 4),
+    average_utilization=1.0,
+    access_probability=1.0,
+    request_count_range=(1, 6),
+    cs_length_range=(1.0, 15.0),
+    num_vertices_range=(4, 8),
+)
+SWEEP = SweepConfig(samples_per_point=6, utilization_step_fraction=0.5, seed=31)
+
+
+def _run(tmp_path, label, *extra):
+    store = str(tmp_path / label)
+    assert cli.main(["run", "--store", store, *RUN_FLAGS, *extra]) == 0
+    return os.path.join(store, "results.jsonl")
+
+
+def test_store_bytes_identical_across_batch_sizes(tmp_path, monkeypatch):
+    _freeze_clocks(monkeypatch)
+    baseline = _read_bytes(_run(tmp_path, "per-sample"))
+    for label, extra in [
+        ("batch-1", ["--batch-size", "1"]),
+        ("batch-7", ["--batch-size", "7"]),
+        ("batch-full", ["--batch-size", "0"]),
+    ]:
+        assert _read_bytes(_run(tmp_path, label, *extra)) == baseline, label
+
+
+def test_store_identical_across_workers_with_batching(tmp_path):
+    """Worker processes keep their real clocks and complete in pool order,
+    so the worker-count axis is compared with the timing fields stripped
+    and the records keyed by unit id (the repo-wide convention for
+    cross-process identity)."""
+    import json
+
+    def payload(path):
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        for record in records:
+            del record["elapsed_seconds"]
+            del record["completed_at"]
+        return sorted(records, key=lambda record: record["unit_id"])
+
+    serial = payload(_run(tmp_path, "w1", "--batch-size", "7"))
+    pooled = payload(
+        _run(tmp_path, "w2", "--batch-size", "7", "--workers", "2")
+    )
+    assert serial == pooled
+
+
+def test_unit_results_identical_across_batch_sizes():
+    plan = plan_campaign([SCENARIO], SWEEP)
+    protocols = build_protocols(plan.protocol_names)
+    for unit in plan.units:
+        baseline = execute_unit(unit, protocols)
+        for batch_size in (1, 2, 7, 0):
+            result = execute_unit(unit, protocols, batch_size=batch_size)
+            assert result.accepted == baseline.accepted
+            assert result.evaluated == baseline.evaluated
+            assert result.generation_failures == baseline.generation_failures
+
+
+def test_batched_unit_counts_generation_failures_per_sample():
+    # An unsatisfiable point: per-task utilization bounds make most draws
+    # fail, and the batched path must count each failure individually.
+    scenario = Scenario(
+        platform_size=4,
+        resource_count_range=(1, 2),
+        average_utilization=1.0,
+        access_probability=1.0,
+        request_count_range=(1, 2),
+        cs_length_range=(1.0, 2.0),
+        num_vertices_range=(4, 6),
+    )
+    plan = plan_campaign(
+        [scenario],
+        SweepConfig(samples_per_point=8, utilization_step_fraction=1.0, seed=5),
+    )
+    protocols = build_protocols(plan.protocol_names)
+    unit = plan.units[-1]
+    serial = execute_unit(unit, protocols)
+    batched = execute_unit(unit, protocols, batch_size=0)
+    assert batched.generation_failures == serial.generation_failures
+    assert batched.evaluated == serial.evaluated
+    assert batched.evaluated + batched.generation_failures == unit.samples_per_point
+
+
+def test_profile_reports_arena_batching(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert cli.main(
+        ["run", "--store", store, *RUN_FLAGS, "--batch-size", "0"]
+    ) == 0
+    capsys.readouterr()
+    assert cli.main(["profile", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "arena batching" in out
+    assert "tasksets batched" in out
+    assert "requests/solve" in out
+    assert "per-sample fallbacks" in out
+
+
+def test_profile_omits_arena_section_for_per_sample_runs(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert cli.main(["run", "--store", store, *RUN_FLAGS]) == 0
+    capsys.readouterr()
+    assert cli.main(["profile", "--store", store]) == 0
+    assert "arena batching" not in capsys.readouterr().out
+
+
+def test_batched_fallback_counts_non_arena_protocols(tmp_path):
+    """FED-FP has no arena driver: its verdicts fall back per sample."""
+    import json
+
+    from repro.obs.sink import events_path, iter_event_records
+
+    store = str(tmp_path / "store")
+    assert cli.main(
+        ["run", "--store", store, *RUN_FLAGS, "--batch-size", "0"]
+    ) == 0
+    counters = {}
+    for record, _ in iter_event_records(events_path(store)):
+        if record.get("type") == "unit_telemetry":
+            for name, value in record["telemetry"]["counters"].items():
+                counters[name] = counters.get(name, 0) + value
+    assert counters.get("arena.fallbacks", 0) > 0
+    assert counters.get("arena.tasksets", 0) > 0
+    with open(os.path.join(store, "results.jsonl")) as handle:
+        records = [json.loads(line) for line in handle if line.strip()]
+    assert all("FED-FP" in record["accepted"] for record in records)
