@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Validate DPCP-p WCRT bounds by simulation — the 20-line version.
+"""Validate WCRT bounds by simulation — the 20-line version.
 
-Runs a tiny fixed-seed simulate-mode campaign (one Fig. 2 scenario) and
-prints the worst observed/bound ratio per protocol.  Zero violations and
-every ratio <= 1 is the expected outcome; see docs/validation.md.
+Runs a tiny fixed-seed simulate-mode campaign (one Fig. 2 scenario) over
+the whole simulatable baseline suite — DPCP-p-EP, DPCP-p-EN, SPIN, and
+LPP, each under its own runtime locking rules — and prints the worst
+observed/bound ratio per protocol.  Zero violations and every ratio <= 1
+is the expected outcome; see docs/validation.md.
 
 Run with:  PYTHONPATH=src python examples/validate_bounds.py
 """

@@ -1,6 +1,7 @@
 """Classic (sequential-task) DPCP analysis used for light tasks (Sec. VI)."""
 
 from .dpcp import (
+    SequentialDpcpKernel,
     SequentialModelError,
     SequentialSystem,
     SequentialTask,
@@ -10,6 +11,7 @@ from .dpcp import (
 )
 
 __all__ = [
+    "SequentialDpcpKernel",
     "SequentialModelError",
     "SequentialSystem",
     "SequentialTask",

@@ -516,8 +516,9 @@ def execute_simulation_unit(
 
     Sample generation and the analysis pass are identical to
     :func:`execute_unit` (same seeds, same acceptance counts).  Every
-    analysis-accepted task set is additionally run through the DPCP-p
-    runtime simulator on the partition the analysis produced, and the
+    analysis-accepted task set is additionally run through the runtime
+    simulator — under the *accepting protocol's* locking rules (DPCP-p,
+    SPIN or LPP) — on the partition the analysis produced, and the
     observed/bound response-time ratios, deadline misses, invariant
     counters, and truncation outcomes are folded into one
     :class:`~repro.experiments.metrics.ValidationRollup` per protocol.
@@ -536,7 +537,7 @@ def execute_simulation_unit(
 
     def validate(test, verdict) -> None:
         rollup = result.simulation[test.name]
-        outcome = validate_partition(verdict.partition, sim_config)
+        outcome = validate_partition(verdict.partition, sim_config, protocol=test.name)
         rollup.simulated += 1
         if outcome.status == STATUS_TRUNCATED:
             rollup.truncated += 1
@@ -544,6 +545,7 @@ def execute_simulation_unit(
             rollup.rule_failures += 1
         rollup.mutual_exclusion_violations += outcome.mutual_exclusion_violations
         rollup.processor_overlaps += outcome.processor_overlaps
+        rollup.spin_exclusivity_violations += outcome.spin_exclusivity_violations
         rollup.deadline_misses += outcome.deadline_misses
         rollup.jobs_finished += outcome.jobs_finished
         rollup.events += outcome.events

@@ -43,20 +43,44 @@ from ..utils.rng import ensure_rng, spawn_seeds
 #: config), both of which enter the config hash.
 FORMAT_VERSION = 4
 
+#: Manifest version of *simulate-mode* stores.  Version 5: the simulator
+#: became protocol-pluggable (SPIN and LPP joined
+#: :data:`SIMULATABLE_PROTOCOLS`), validation rollups grew the
+#: ``spin_exclusivity_violations`` counter, and each protocol now simulates
+#: under its *own* runtime rules — simulate provenance changed, so resuming
+#: a version-4 simulate store would mix incompatible evidence.  Analyze-mode
+#: provenance is untouched: analyze stores stay on :data:`FORMAT_VERSION`
+#: and old analyze stores still resume.
+SIMULATE_FORMAT_VERSION = 5
+
 #: Campaign modes: ``analyze`` evaluates the schedulability tests only (the
 #: Sec. VII acceptance-ratio experiments); ``simulate`` additionally runs
-#: every analysis-accepted task set through the DPCP-p runtime simulator
-#: and records observed-vs-bound tightness plus invariant counters.
+#: every analysis-accepted task set through the runtime simulator — under
+#: the accepting protocol's own locking rules — and records
+#: observed-vs-bound tightness plus invariant counters.
 MODE_ANALYZE = "analyze"
 MODE_SIMULATE = "simulate"
 CAMPAIGN_MODES = (MODE_ANALYZE, MODE_SIMULATE)
 
 #: Protocols whose accepted partitions the runtime simulator can execute.
-#: The simulator implements the DPCP-p rules (Sec. III); the SPIN / LPP /
-#: FED-FP baselines schedule under different runtime protocols, so a
-#: simulate-mode campaign refuses them instead of "validating" a bound
-#: against the wrong runtime.
-SIMULATABLE_PROTOCOLS = ("DPCP-p-EP", "DPCP-p-EN")
+#: The simulator implements the DPCP-p rules (Sec. III) plus the SPIN
+#: (non-preemptive busy-wait) and LPP (local priority-ceiling semaphore)
+#: baseline runtimes behind :class:`repro.sim.protocols.ProtocolBehavior`
+#: strategies.  FED-FP ignores locking entirely — there are no runtime
+#: rules to validate a bound against — so simulate-mode campaigns refuse
+#: it by name instead of "validating" against the wrong runtime.
+SIMULATABLE_PROTOCOLS = ("DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP")
+
+
+def manifest_format_version(mode: str) -> int:
+    """Store format version in force for ``mode``.
+
+    Simulate-mode stores version independently of analyze-mode ones: a
+    simulator-semantics change invalidates simulate evidence without
+    touching analyze results (and vice versa), so each mode's stores are
+    refused exactly when *their* provenance changed.
+    """
+    return SIMULATE_FORMAT_VERSION if mode == MODE_SIMULATE else FORMAT_VERSION
 
 #: The single registry of the paper's protocol suite (Sec. VII-B): report
 #: name → factory taking the EP path-signature cap.  Everything else —
@@ -170,7 +194,8 @@ def plan_campaign(
         if unsimulatable:
             raise ValueError(
                 f"protocol(s) {', '.join(unsimulatable)} cannot be simulated — "
-                f"the runtime simulator implements DPCP-p only "
+                f"FED-FP ignores locking, so it has no runtime rules to "
+                f"validate a bound against "
                 f"(simulatable: {', '.join(SIMULATABLE_PROTOCOLS)})"
             )
         sim_config = sim_config or SimulationConfig()
@@ -310,7 +335,7 @@ def campaign_manifest(
             "is None); otherwise resumed runs could not reproduce the streams"
         )
     manifest = {
-        "format_version": FORMAT_VERSION,
+        "format_version": manifest_format_version(plan.mode),
         "scenarios": [scenario_to_dict(s) for s in plan.scenarios],
         "sweep_config": config_to_dict(plan.config),
         "protocols": list(plan.protocol_names),

@@ -26,7 +26,7 @@ import os
 from datetime import datetime, timezone
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
-from .planner import FORMAT_VERSION, config_hash
+from .planner import MODE_ANALYZE, config_hash, manifest_format_version
 
 
 class StoreError(RuntimeError):
@@ -123,11 +123,16 @@ class CampaignStore:
             raise StoreError(
                 f"{self.manifest_path!r} is not a campaign manifest"
             )
+        # Each mode versions independently (simulate provenance can change
+        # without invalidating analyze stores — see ``planner``): the store
+        # is checked against the version in force for *its* mode.
+        expected = manifest_format_version(manifest.get("mode", MODE_ANALYZE))
         version = manifest.get("format_version")
-        if version != FORMAT_VERSION:
+        if version != expected:
             raise StoreError(
                 f"store {self.directory!r} uses manifest format {version!r}, "
-                f"but this version of the code reads format {FORMAT_VERSION}; "
+                f"but this version of the code reads format {expected} for "
+                f"{manifest.get('mode', MODE_ANALYZE)}-mode campaigns; "
                 "re-run the campaign into a fresh --store directory"
             )
         try:

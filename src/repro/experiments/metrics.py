@@ -273,6 +273,7 @@ class ValidationRollup:
     rule_failures: int = 0
     mutual_exclusion_violations: int = 0
     processor_overlaps: int = 0
+    spin_exclusivity_violations: int = 0
     deadline_misses: int = 0
     jobs_finished: int = 0
     events: int = 0
@@ -285,6 +286,7 @@ class ValidationRollup:
         self.rule_failures += other.rule_failures
         self.mutual_exclusion_violations += other.mutual_exclusion_violations
         self.processor_overlaps += other.processor_overlaps
+        self.spin_exclusivity_violations += other.spin_exclusivity_violations
         self.deadline_misses += other.deadline_misses
         self.jobs_finished += other.jobs_finished
         self.events += other.events
@@ -296,6 +298,7 @@ class ValidationRollup:
         return (
             self.mutual_exclusion_violations
             + self.processor_overlaps
+            + self.spin_exclusivity_violations
             + self.deadline_misses
             + self.ratio.overflows
         )
@@ -308,6 +311,7 @@ class ValidationRollup:
             "rule_failures": self.rule_failures,
             "mutual_exclusion_violations": self.mutual_exclusion_violations,
             "processor_overlaps": self.processor_overlaps,
+            "spin_exclusivity_violations": self.spin_exclusivity_violations,
             "deadline_misses": self.deadline_misses,
             "jobs_finished": self.jobs_finished,
             "events": self.events,
@@ -323,6 +327,7 @@ class ValidationRollup:
             rule_failures=int(data["rule_failures"]),
             mutual_exclusion_violations=int(data["mutual_exclusion_violations"]),
             processor_overlaps=int(data["processor_overlaps"]),
+            spin_exclusivity_violations=int(data["spin_exclusivity_violations"]),
             deadline_misses=int(data["deadline_misses"]),
             jobs_finished=int(data["jobs_finished"]),
             events=int(data["events"]),

@@ -27,7 +27,6 @@ from typing import Dict, List, Optional
 
 from ..campaign.executor import UnitResult, assemble_sweep
 from ..campaign.planner import (
-    FORMAT_VERSION,
     MODE_ANALYZE,
     MODE_SIMULATE,
     CampaignPlan,
@@ -281,7 +280,7 @@ class StoreAggregator:
             return None, "malformed cache file"
         if cache.get("cache_format_version") != CACHE_FORMAT_VERSION:
             return None, "cache format version changed"
-        if cache.get("store_format_version") != FORMAT_VERSION:
+        if cache.get("store_format_version") != manifest.get("format_version"):
             return None, "store format version changed"
         if cache.get("config_hash") != manifest.get("config_hash"):
             return None, "campaign configuration changed"
@@ -316,7 +315,7 @@ class StoreAggregator:
         """Atomically persist the folded state next to the store."""
         payload = {
             "cache_format_version": CACHE_FORMAT_VERSION,
-            "store_format_version": FORMAT_VERSION,
+            "store_format_version": manifest["format_version"],
             "config_hash": manifest["config_hash"],
             "results_offset": offset,
             "points": points,

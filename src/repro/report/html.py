@@ -85,7 +85,7 @@ def _tightness_section(aggregate: StoreAggregate) -> List[str]:
             + f'<td class="num">{maximum}</td>'
             f'<td class="num">{rollup.deadline_misses}</td>'
             f'<td class="num">'
-            f"{rollup.mutual_exclusion_violations + rollup.processor_overlaps}</td>"
+            f"{rollup.mutual_exclusion_violations + rollup.processor_overlaps + rollup.spin_exclusivity_violations}</td>"
             f'<td class="num">{ratio.overflows}</td>'
             f'<td class="num">{rollup.truncated}</td>'
         )

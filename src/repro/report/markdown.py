@@ -45,7 +45,11 @@ def _tightness_row(label: str, protocol: str, rollup: ValidationRollup) -> List[
         _ratio(ratio.mean),
         "n/a" if ratio.maximum is None else f"{ratio.maximum:.3f}",
         str(rollup.deadline_misses),
-        str(rollup.mutual_exclusion_violations + rollup.processor_overlaps),
+        str(
+            rollup.mutual_exclusion_violations
+            + rollup.processor_overlaps
+            + rollup.spin_exclusivity_violations
+        ),
         str(ratio.overflows),
         str(rollup.truncated),
     ]
@@ -104,7 +108,8 @@ def render_tightness_section(aggregate: StoreAggregate) -> List[str]:
         parts.append(
             f"Soundness: **no violations** over {simulated} simulated "
             "runs — zero deadline misses, zero mutual-exclusion violations, "
-            "zero processor overlaps, zero observed>bound overflows."
+            "zero processor overlaps, zero spin-exclusivity violations, "
+            "zero observed>bound overflows."
         )
     else:
         parts.append(

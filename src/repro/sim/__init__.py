@@ -1,4 +1,4 @@
-"""Discrete-event simulation of the DPCP-p runtime protocol."""
+"""Discrete-event simulation of the locking-protocol runtimes (DPCP-p, SPIN, LPP)."""
 
 from .behaviors import (
     BehaviorError,
@@ -8,8 +8,17 @@ from .behaviors import (
     validate_behaviors,
 )
 from .paper_example import build_figure1_system, build_task_i, build_task_j
+from .protocols import (
+    RUNTIME_BEHAVIORS,
+    DpcpPBehavior,
+    LppBehavior,
+    ProtocolBehavior,
+    SpinBehavior,
+    behavior_for,
+)
 from .simulator import (
     DpcpPSimulator,
+    RuntimeSimulator,
     SimulationError,
     SimulationTruncated,
     simulate_periodic,
@@ -33,7 +42,14 @@ __all__ = [
     "build_figure1_system",
     "build_task_i",
     "build_task_j",
+    "ProtocolBehavior",
+    "DpcpPBehavior",
+    "SpinBehavior",
+    "LppBehavior",
+    "RUNTIME_BEHAVIORS",
+    "behavior_for",
     "DpcpPSimulator",
+    "RuntimeSimulator",
     "SimulationError",
     "SimulationTruncated",
     "simulate_periodic",

@@ -1,0 +1,562 @@
+"""Locking-protocol strategies for the runtime simulator.
+
+Each :class:`ProtocolBehavior` encapsulates one protocol's locking rules —
+how a critical segment issues its request, in which order waiting requests
+are granted, and what a waiting vertex does in the meantime (suspend,
+busy-wait, run as an agent).  The simulator core
+(:class:`~repro.sim.simulator.RuntimeSimulator`) owns everything else:
+the event loop, segment lifecycle, DAG precedence and trace recording.
+
+Three behaviors ship with the repo, matching the analyses in
+:mod:`repro.analysis`:
+
+``DpcpPBehavior``
+    The paper's DPCP-p rules (Sec. III): global requests run as *agents*
+    on the resource's home processor at an effective priority above every
+    base priority, gated by a per-processor priority ceiling; local
+    requests take a per-task FIFO semaphore.
+``SpinBehavior``
+    Non-preemptive busy-waiting (the SPIN baseline): every critical
+    section executes on the task's own cluster; a blocked vertex spins,
+    *occupying its processor*, in a task-fair FIFO queue.
+``LppBehavior``
+    Local priority-ceiling semaphores (the LPP baseline): waiters
+    suspend, grants go to the highest-priority waiter, and a granted
+    critical section runs *boosted* — it preempts non-critical execution
+    of its own task so the holder cannot be delayed by ordinary work.
+
+The exact grant orders and their tie-breaking rules are documented on each
+class; ``docs/validation.md`` states the fidelity envelope they imply.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .behaviors import Segment
+from .simulator import RuntimeSimulator, SimulationError, _Request, _VertexInstance
+from .trace import RequestRecord
+
+
+class ProtocolBehavior:
+    """Strategy interface for a locking protocol's runtime rules.
+
+    A behavior instance is attached to exactly one
+    :class:`~repro.sim.simulator.RuntimeSimulator` (via :meth:`attach`,
+    called from the simulator constructor) and holds all protocol-specific
+    lock state.  The base class provides the protocol-independent
+    work-conserving processor scheduler; subclasses override the hooks
+    they need.
+    """
+
+    #: Protocol family name (for diagnostics).
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.sim: Optional[RuntimeSimulator] = None
+
+    def attach(self, sim: RuntimeSimulator) -> None:
+        """Bind the behavior to its simulator and initialise lock state."""
+        if self.sim is not None:
+            raise SimulationError(
+                "a ProtocolBehavior instance cannot be shared between simulators"
+            )
+        self.sim = sim
+
+    # ------------------------------------------------------------------ #
+    # Hooks called by the simulator core
+    # ------------------------------------------------------------------ #
+    def issue_request(self, instance: _VertexInstance, segment: Segment) -> None:
+        """A vertex reached a critical segment: issue the lock request."""
+        raise NotImplementedError
+
+    def critical_section_finished(self, instance: _VertexInstance, segment: Segment) -> None:
+        """A critical section executed as a vertex chunk just completed."""
+        raise NotImplementedError
+
+    def agent_finished(self, request: _Request) -> None:
+        """An agent chunk completed (only protocols that dispatch agents)."""
+        raise SimulationError(f"protocol {self.name!r} does not execute agents")
+
+    def schedule_processor(self, processor: int) -> None:
+        """Work-conserving default: fill an idle processor with owner work."""
+        sim = self.sim
+        if sim._running[processor] is not None:
+            return
+        owner = sim.partition.owner_of_processor(processor)
+        if owner is None:
+            return
+        instance = sim._next_ready_vertex(owner)
+        if instance is not None:
+            self.place_vertex(processor, instance)
+
+    def place_vertex(self, processor: int, instance: _VertexInstance) -> None:
+        """Put a ready vertex on an idle processor (hook for lock attempts)."""
+        self.sim._start_vertex(processor, instance)
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _new_record(self, instance: _VertexInstance, resource: int) -> RequestRecord:
+        """Create (and, when tracing, retain) a request life-cycle record."""
+        sim = self.sim
+        record = RequestRecord(
+            task_id=instance.task_id,
+            job_id=instance.job_id,
+            vertex=instance.vertex,
+            resource=resource,
+            priority=instance.priority,
+            issue_time=sim.now,
+        )
+        if sim.record_trace:
+            sim.trace.requests.append(record)
+        return record
+
+
+# --------------------------------------------------------------------------- #
+# DPCP-p (Sec. III, Rules 1-4)
+# --------------------------------------------------------------------------- #
+class DpcpPBehavior(ProtocolBehavior):
+    """The DPCP-p locking rules of Sec. III.
+
+    * Local requests (Rules 1, 2) take a per-``(task, resource)`` FIFO
+      semaphore; the holder joins ``RQ^L`` (served before ``RQ^N``),
+      waiters suspend.
+    * Global requests (Rules 3, 4) suspend the vertex and dispatch an
+      *agent* on the resource's home processor.  A request enters the
+      granted queue ``RQ^G`` only if its priority exceeds the processor's
+      priority ceiling (the highest ceiling among locked resources hosted
+      there), otherwise it waits in ``SQ^G``.  Agents preempt vertices,
+      and higher-priority agents preempt lower-priority agents.
+    """
+
+    name = "DPCP-p"
+
+    def attach(self, sim: RuntimeSimulator) -> None:
+        """Initialise the DPCP-p queues and lock tables for ``sim``."""
+        super().attach(sim)
+        self._rq_g: Dict[int, List[_Request]] = {
+            proc: [] for proc in sim.partition.platform.processors
+        }
+        self._sq_g: Dict[int, List[_Request]] = {
+            proc: [] for proc in sim.partition.platform.processors
+        }
+        self._local_lock_holder: Dict[Tuple[int, int], Optional[_VertexInstance]] = {}
+        self._local_waiters: Dict[Tuple[int, int], List[_VertexInstance]] = {}
+        self._global_lock_holder: Dict[int, Optional[_Request]] = {
+            rid: None for rid in sim.taskset.global_resources()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Request issue and completion
+    # ------------------------------------------------------------------ #
+    def issue_request(self, instance: _VertexInstance, segment: Segment) -> None:
+        """Rule 1/3: local requests take the semaphore, global ones an agent."""
+        resource = segment.resource
+        if self.sim.taskset.is_global(resource):
+            self._issue_global_request(instance, resource, segment.duration)
+        else:
+            self._issue_local_request(instance, resource)
+
+    def critical_section_finished(self, instance: _VertexInstance, segment: Segment) -> None:
+        """A local critical section completed: release the semaphore."""
+        self._release_local_lock(instance, segment.resource)
+
+    def agent_finished(self, request: _Request) -> None:
+        """Rule 4: the agent's request releases its lock, the vertex resumes."""
+        self._finish_request(request)
+
+    # ------------------------------------------------------------------ #
+    # Local resources (Rules 1, 2)
+    # ------------------------------------------------------------------ #
+    def _issue_local_request(self, instance: _VertexInstance, resource: int) -> None:
+        sim = self.sim
+        key = (instance.task_id, resource)
+        holder = self._local_lock_holder.get(key)
+        if holder is None:
+            self._local_lock_holder[key] = instance
+            sim._rq_l[instance.task_id].append(instance)
+        else:
+            sim._suspended[instance.task_id].append(instance)
+            self._local_waiters.setdefault(key, []).append(instance)
+
+    def _release_local_lock(self, instance: _VertexInstance, resource: int) -> None:
+        sim = self.sim
+        key = (instance.task_id, resource)
+        if self._local_lock_holder.get(key) is not instance:
+            raise SimulationError("local lock released by a non-holder")
+        self._local_lock_holder[key] = None
+        waiters = self._local_waiters.get(key, [])
+        if waiters:
+            successor = waiters.pop(0)
+            sim._suspended[instance.task_id].remove(successor)
+            self._local_lock_holder[key] = successor
+            sim._rq_l[successor.task_id].append(successor)
+
+    # ------------------------------------------------------------------ #
+    # Global resources (Rules 3, 4) and the priority ceiling
+    # ------------------------------------------------------------------ #
+    def _issue_global_request(
+        self, instance: _VertexInstance, resource: int, duration: float
+    ) -> None:
+        sim = self.sim
+        processor = sim.partition.processor_of_resource(resource)
+        record = self._new_record(instance, resource)
+        request = _Request(
+            task_id=instance.task_id,
+            job_id=instance.job_id,
+            vertex=instance.vertex,
+            resource=resource,
+            priority=instance.priority,
+            processor=processor,
+            remaining=duration,
+            record=record,
+        )
+        sim._suspended[instance.task_id].append(instance)
+        if self._ceiling_allows(processor, request):
+            self._grant(request)
+        else:
+            self._sq_g[processor].append(request)
+
+    def _processor_ceiling(self, processor: int) -> Optional[int]:
+        """Highest ceiling among global resources locked on ``processor``."""
+        sim = self.sim
+        ceiling: Optional[int] = None
+        for rid in sim.partition.resources_on_processor(processor):
+            holder = self._global_lock_holder.get(rid)
+            if holder is None:
+                continue
+            resource_ceiling = sim.taskset.resource_ceiling(rid)
+            if ceiling is None or resource_ceiling > ceiling:
+                ceiling = resource_ceiling
+        return ceiling
+
+    def _ceiling_allows(self, processor: int, request: _Request) -> bool:
+        ceiling = self._processor_ceiling(processor)
+        return ceiling is None or request.priority > ceiling
+
+    def _grant(self, request: _Request) -> None:
+        if self._global_lock_holder.get(request.resource) is not None:
+            raise SimulationError(
+                f"resource {request.resource} granted while already locked"
+            )
+        self._global_lock_holder[request.resource] = request
+        request.record.grant_time = self.sim.now
+        self._rq_g[request.processor].append(request)
+
+    def _finish_request(self, request: _Request) -> None:
+        """Rule 4: the request releases its lock and the vertex resumes."""
+        sim = self.sim
+        if self._global_lock_holder.get(request.resource) is not request:
+            raise SimulationError("global lock released by a non-holder")
+        self._global_lock_holder[request.resource] = None
+        request.record.finish_time = sim.now
+        self._rq_g[request.processor].remove(request)
+        # Wake waiting requests that now pass the ceiling test, in priority order.
+        self._admit_from_sq_g(request.processor)
+        # The requesting vertex resumes with its next segment.
+        instance = sim._find_instance(request.task_id, request.job_id, request.vertex)
+        sim._suspended[request.task_id].remove(instance)
+        instance.advance_segment()
+        sim._dispatch_segment(instance)
+
+    def _admit_from_sq_g(self, processor: int) -> None:
+        waiting = self._sq_g[processor]
+        while waiting:
+            candidate = max(waiting, key=lambda r: r.priority)
+            if not self._ceiling_allows(processor, candidate):
+                break
+            if self._global_lock_holder.get(candidate.resource) is not None:
+                break
+            waiting.remove(candidate)
+            self._grant(candidate)
+
+    # ------------------------------------------------------------------ #
+    # Processor scheduling (work-conserving, agents first)
+    # ------------------------------------------------------------------ #
+    def schedule_processor(self, processor: int) -> None:
+        """Agents preempt vertices; higher-priority agents preempt lower."""
+        sim = self.sim
+        running = sim._running[processor]
+        best_agent = self._best_waiting_agent(processor)
+
+        if best_agent is not None:
+            if running is None:
+                sim._start_agent(processor, best_agent)
+                return
+            if running.kind == "vertex":
+                sim._preempt(processor)
+                sim._start_agent(processor, best_agent)
+                return
+            if running.kind == "agent" and best_agent.priority > running.request.priority:
+                sim._preempt(processor)
+                sim._start_agent(processor, best_agent)
+                return
+            return
+
+        if running is not None:
+            return
+
+        owner = sim.partition.owner_of_processor(processor)
+        if owner is None:
+            return
+        instance = sim._next_ready_vertex(owner)
+        if instance is not None:
+            self.place_vertex(processor, instance)
+
+    def _best_waiting_agent(self, processor: int) -> Optional[_Request]:
+        sim = self.sim
+        executing = {
+            chunk.request.key
+            for chunk in sim._running.values()
+            if chunk is not None and chunk.kind == "agent"
+        }
+        candidates = [r for r in self._rq_g[processor] if r.key not in executing]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.priority)
+
+
+# --------------------------------------------------------------------------- #
+# SPIN (non-preemptive busy-waiting, task-fair FIFO)
+# --------------------------------------------------------------------------- #
+@dataclass
+class _SpinWaiter:
+    """One vertex busy-waiting for a resource."""
+
+    instance: _VertexInstance
+    processor: int
+    record: RequestRecord
+    arrival: int
+    #: How many critical sections of the *waiter's own task* were granted
+    #: while it spun — the task-fair FIFO sort key (see
+    #: :class:`SpinBehavior`).
+    own_served: int = 0
+
+
+class SpinBehavior(ProtocolBehavior):
+    """Non-preemptive busy-wait locking (the SPIN baseline).
+
+    Every critical section executes on the task's own cluster as an
+    ordinary vertex chunk — there are no agents and no home processors, so
+    the behavior never touches ``partition.resource_assignment``.  A vertex
+    whose critical segment finds the lock taken *spins*: it keeps its
+    processor (recorded as an ``is_spin`` interval) until the lock is
+    handed over.  Spinning is non-preemptive — no other vertex may run on
+    the processor during the wait.
+
+    **Grant order (task-fair FIFO).**  Waiters are granted in spin-start
+    order (FIFO), except that a task never receives two consecutive grants
+    while another task's earlier waiter is still spinning: the next grant
+    goes to the waiter that has deferred to the fewest critical sections
+    of *its own task* since it started spinning, ties broken by spin start
+    (then by a deterministic arrival counter for simultaneous starts).
+    This is the hand-off discipline of hierarchical/cohort FIFO locks, and
+    it realises exactly the per-request blocking charged by
+    :mod:`repro.analysis.spin`: one critical section per *other* task plus
+    the task's own concurrent spinners — a plain per-request FIFO would
+    let one task's parallel spinners double-block a neighbour and break
+    the analytical bound.
+
+    **Spin accounting.**  The spin interval is charged to the waiting
+    vertex on its own processor (``is_spin=True``, ``resource=None``); the
+    critical section itself starts at grant time as a normal vertex chunk.
+    A request's ``issue_time`` is the moment the vertex reached the lock
+    on its processor, and ``grant_time - issue_time`` is exactly the time
+    it spun.
+    """
+
+    name = "SPIN"
+
+    def attach(self, sim: RuntimeSimulator) -> None:
+        """Initialise the per-resource holder and spin queues for ``sim``."""
+        super().attach(sim)
+        self._holder: Dict[int, Optional[_SpinWaiter]] = {}
+        self._queue: Dict[int, List[_SpinWaiter]] = {}
+        self._arrival = itertools.count()
+
+    def issue_request(self, instance: _VertexInstance, segment: Segment) -> None:
+        """Queue the vertex for a processor; the lock attempt happens there.
+
+        Under SPIN a request cannot wait without a processor — the vertex
+        first competes for one through ``RQ^L`` (served before ``RQ^N`` so
+        lock attempts are not starved by non-critical work), and attempts
+        the lock the moment it is placed (:meth:`place_vertex`).
+        """
+        self.sim._rq_l[instance.task_id].append(instance)
+
+    def place_vertex(self, processor: int, instance: _VertexInstance) -> None:
+        """Attempt the lock when a critical vertex lands on a processor."""
+        sim = self.sim
+        segment = instance.current_segment
+        if segment is None or not segment.is_critical:
+            sim._start_vertex(processor, instance)
+            return
+        resource = segment.resource
+        record = self._new_record(instance, resource)
+        waiter = _SpinWaiter(
+            instance=instance,
+            processor=processor,
+            record=record,
+            arrival=next(self._arrival),
+        )
+        if self._holder.get(resource) is None:
+            record.grant_time = sim.now
+            self._holder[resource] = waiter
+            sim._start_vertex(processor, instance)
+        else:
+            self._queue.setdefault(resource, []).append(waiter)
+            sim._start_spin(processor, instance)
+
+    def critical_section_finished(self, instance: _VertexInstance, segment: Segment) -> None:
+        """Release the lock and hand it to the next task-fair FIFO waiter."""
+        sim = self.sim
+        resource = segment.resource
+        holder = self._holder.get(resource)
+        if holder is None or holder.instance is not instance:
+            raise SimulationError("spin lock released by a non-holder")
+        holder.record.finish_time = sim.now
+        self._holder[resource] = None
+        queue = self._queue.get(resource)
+        if not queue:
+            return
+        winner = min(queue, key=lambda w: (w.own_served, w.arrival))
+        queue.remove(winner)
+        for waiter in queue:
+            if waiter.instance.task_id == winner.instance.task_id:
+                waiter.own_served += 1
+        spinner = sim._end_spin(winner.processor)
+        if spinner is not winner.instance:
+            raise SimulationError("spin hand-off to a vertex that was not spinning")
+        winner.record.grant_time = sim.now
+        self._holder[resource] = winner
+        sim._start_vertex(winner.processor, winner.instance)
+
+
+# --------------------------------------------------------------------------- #
+# LPP (local priority-ceiling semaphores)
+# --------------------------------------------------------------------------- #
+@dataclass
+class _LppWaiter:
+    """One vertex suspended on an LPP semaphore."""
+
+    instance: _VertexInstance
+    record: RequestRecord
+    arrival: int
+
+
+class LppBehavior(ProtocolBehavior):
+    """Local locking with priority ceilings (the LPP baseline).
+
+    Critical sections execute on the task's own cluster — no agents, no
+    home processors, ``partition.resource_assignment`` is never consulted.
+    A vertex whose request finds the lock taken *suspends* (it releases
+    its processor); on release the semaphore is handed to the
+    highest-priority waiter, ties broken FIFO by request arrival (all
+    vertices of one task share the task's priority, so intra-task ties are
+    FIFO by construction).  Because lower-priority waiters are never
+    granted ahead of a higher-priority one, a request is blocked by at
+    most the single lower-priority critical section already in flight when
+    it arrives — the ``Lemma 1``-style property the LPP analysis
+    (:mod:`repro.analysis.lpp`) charges as its blocking term.
+
+    **Ceiling boosting.**  A granted critical section runs at ceiling
+    priority: if the task's cluster has no idle processor, the grantee
+    preempts the lowest-indexed processor running a *non-critical* chunk
+    of its task (the preempted work returns to the front of ``RQ^N``).
+    Without boosting, a holder could sit runnable-but-not-running behind
+    its own task's ordinary work while other tasks wait on the semaphore —
+    blocking the analysis never charges.  If every processor of the
+    cluster is executing a critical section, the grantee joins the front
+    of ``RQ^L`` and takes the next processor that frees.
+    """
+
+    name = "LPP"
+
+    def attach(self, sim: RuntimeSimulator) -> None:
+        """Initialise the per-resource semaphore state for ``sim``."""
+        super().attach(sim)
+        self._holder: Dict[int, Optional[_LppWaiter]] = {}
+        self._waiters: Dict[int, List[_LppWaiter]] = {}
+        self._arrival = itertools.count()
+
+    def issue_request(self, instance: _VertexInstance, segment: Segment) -> None:
+        """Take the semaphore if free, otherwise suspend in priority order."""
+        sim = self.sim
+        resource = segment.resource
+        record = self._new_record(instance, resource)
+        waiter = _LppWaiter(
+            instance=instance, record=record, arrival=next(self._arrival)
+        )
+        if self._holder.get(resource) is None:
+            record.grant_time = sim.now
+            self._holder[resource] = waiter
+            self._place_boosted(instance)
+        else:
+            sim._suspended[instance.task_id].append(instance)
+            self._waiters.setdefault(resource, []).append(waiter)
+
+    def critical_section_finished(self, instance: _VertexInstance, segment: Segment) -> None:
+        """Release the semaphore and grant the highest-priority waiter."""
+        sim = self.sim
+        resource = segment.resource
+        holder = self._holder.get(resource)
+        if holder is None or holder.instance is not instance:
+            raise SimulationError("LPP semaphore released by a non-holder")
+        holder.record.finish_time = sim.now
+        self._holder[resource] = None
+        waiters = self._waiters.get(resource)
+        if not waiters:
+            return
+        winner = min(waiters, key=lambda w: (-w.instance.priority, w.arrival))
+        waiters.remove(winner)
+        sim._suspended[winner.instance.task_id].remove(winner.instance)
+        winner.record.grant_time = sim.now
+        self._holder[resource] = winner
+        self._place_boosted(winner.instance)
+
+    def _place_boosted(self, instance: _VertexInstance) -> None:
+        """Start a granted critical section at ceiling (boosted) priority."""
+        sim = self.sim
+        processors = sim.partition.clusters[instance.task_id].processors
+        for processor in processors:
+            if sim._running[processor] is None:
+                sim._start_vertex(processor, instance)
+                return
+        for processor in processors:
+            chunk = sim._running[processor]
+            if chunk.kind == "vertex" and chunk.resource is None:
+                sim._preempt(processor)
+                sim._start_vertex(processor, instance)
+                return
+        sim._rq_l[instance.task_id].insert(0, instance)
+
+
+#: Analysis-protocol name -> runtime behavior class.  Both DPCP-p analysis
+#: variants (EP/EN) validate against the same runtime rules — they differ
+#: only in how the *bound* is computed.
+RUNTIME_BEHAVIORS = {
+    "DPCP-p": DpcpPBehavior,
+    "DPCP-p-EP": DpcpPBehavior,
+    "DPCP-p-EN": DpcpPBehavior,
+    "SPIN": SpinBehavior,
+    "LPP": LppBehavior,
+}
+
+
+def behavior_for(protocol: str) -> ProtocolBehavior:
+    """Instantiate the runtime behavior validating ``protocol``'s analysis.
+
+    Raises :class:`ValueError` for protocols without runtime rules
+    (FED-FP ignores locking entirely, so there is nothing to simulate).
+    """
+    try:
+        factory = RUNTIME_BEHAVIORS[protocol]
+    except KeyError:
+        raise ValueError(
+            f"protocol {protocol!r} has no runtime behavior "
+            f"(simulatable: {', '.join(sorted(set(RUNTIME_BEHAVIORS)))})"
+        ) from None
+    return factory()

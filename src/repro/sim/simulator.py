@@ -1,18 +1,27 @@
-"""Event-driven simulator of the DPCP-p runtime protocol (Sec. III).
+"""Event-driven runtime simulator with pluggable locking protocols.
 
 The simulator executes jobs of parallel DAG tasks on a partitioned platform
-under federated scheduling with the DPCP-p locking rules:
+under federated scheduling.  The *locking rules* — how a critical segment
+issues a request, how locks are granted and in which order, and what a
+waiting vertex does (suspend, busy-wait, run as an agent) — live behind a
+:class:`~repro.sim.protocols.ProtocolBehavior` strategy object:
 
-* per-task queues ``RQ^N`` (non-critical, FIFO), ``RQ^L`` (local critical
-  sections, FIFO, served before ``RQ^N``) and ``SQ`` (suspended vertices);
-* per-processor queues ``RQ^G`` (granted global requests, priority ordered)
-  and ``SQ^G`` (global requests waiting for the priority-ceiling test);
-* Rules 1–4 of Sec. III-C, with request agents executing on the resource's
-  home processor at an effective priority above every base priority.
+* :class:`~repro.sim.protocols.DpcpPBehavior` (the default) implements the
+  DPCP-p rules of Sec. III — per-task queues ``RQ^N``/``RQ^L``/``SQ``,
+  per-processor ``RQ^G``/``SQ^G``, priority ceilings, and request agents on
+  the resource's home processor;
+* :class:`~repro.sim.protocols.SpinBehavior` implements non-preemptive
+  busy-waiting with a task-fair FIFO queue (the spinning vertex occupies
+  its processor);
+* :class:`~repro.sim.protocols.LppBehavior` implements local priority-
+  ceiling semaphores (waiters suspend, grants in priority order, granted
+  critical sections run boosted).
 
-The simulator is intended for validation (Lemma 1, mutual exclusion,
-analysis-bound checks) and for reproducing illustrative schedules such as
-Fig. 1 — it is not meant to be cycle-accurate.
+The simulator core owns everything protocol-independent: the event loop,
+vertex/segment lifecycle, DAG precedence, the per-task ready queues, and
+trace recording.  It is intended for validation (invariant checks,
+analysis-bound soundness) and for reproducing illustrative schedules such
+as Fig. 1 — it is not meant to be cycle-accurate.
 
 **Tie breaking.**  Event times are compared up to the absolute tolerance
 ``_EPS`` (1e-9 µs): events within ``_EPS`` of the current time are treated
@@ -24,7 +33,7 @@ segments are skipped without advancing time.  The same ``_EPS`` governs
 interval-overlap checks in :mod:`repro.sim.trace` — sub-``_EPS`` overlaps
 are rounding noise, not violations.
 
-**Truncation semantics.**  :meth:`DpcpPSimulator.run` accepts an optional
+**Truncation semantics.**  :meth:`RuntimeSimulator.run` accepts an optional
 event budget and wall-clock budget.  When either is exhausted the run stops
 *between* events and raises :class:`SimulationTruncated` instead of looping
 forever on a pathological workload.  The simulator state is left intact and
@@ -40,10 +49,10 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..model.platform import PartitionedSystem
-from ..model.task import DAGTask, TaskSet
+from ..model.task import TaskSet
 from .behaviors import Segment, VertexBehavior, behaviors_from_task, validate_behaviors
 from .trace import ExecutionInterval, JobRecord, RequestRecord, SimulationTrace
 
@@ -59,7 +68,7 @@ class SimulationError(RuntimeError):
 
 
 class SimulationTruncated(RuntimeError):
-    """Raised by :meth:`DpcpPSimulator.run` when a budget is exhausted.
+    """Raised by :meth:`RuntimeSimulator.run` when a budget is exhausted.
 
     Attributes
     ----------
@@ -144,7 +153,7 @@ class _Request:
 class _RunningChunk:
     """What a processor is currently executing."""
 
-    kind: str  # "vertex" or "agent"
+    kind: str  # "vertex", "agent" or "spin"
     vertex: Optional[_VertexInstance]
     request: Optional[_Request]
     start_time: float
@@ -165,17 +174,20 @@ class _JobState:
 # --------------------------------------------------------------------------- #
 # The simulator
 # --------------------------------------------------------------------------- #
-class DpcpPSimulator:
-    """Discrete-event simulator of DPCP-p on a partitioned system.
+class RuntimeSimulator:
+    """Discrete-event simulator of a locking protocol on a partitioned system.
 
     Parameters
     ----------
     partition:
-        The task/resource partition to simulate (clusters and global-resource
-        home processors).
+        The task/resource partition to simulate (clusters, and — for
+        DPCP-p — global-resource home processors).
     behaviors:
         Optional ``task id -> {vertex -> VertexBehavior}``; derived
         automatically (requests spread evenly) when omitted.
+    protocol:
+        The :class:`~repro.sim.protocols.ProtocolBehavior` implementing the
+        locking rules; defaults to DPCP-p.
     record_trace:
         When ``False``, execution intervals and request records are *not*
         retained (the memory hog for long horizons); job records are always
@@ -193,6 +205,7 @@ class DpcpPSimulator:
         partition: PartitionedSystem,
         behaviors: Optional[Dict[int, Dict[int, VertexBehavior]]] = None,
         *,
+        protocol=None,
         record_trace: bool = True,
         interval_observer=None,
     ) -> None:
@@ -217,7 +230,7 @@ class DpcpPSimulator:
         self._event_counter = itertools.count()
         self._chunk_counter = itertools.count()
 
-        # Scheduling state.
+        # Protocol-independent scheduling state.
         self._running: Dict[int, Optional[_RunningChunk]] = {
             proc: None for proc in partition.platform.processors
         }
@@ -230,23 +243,17 @@ class DpcpPSimulator:
         self._suspended: Dict[int, List[_VertexInstance]] = {
             t.task_id: [] for t in self.taskset
         }
-        self._rq_g: Dict[int, List[_Request]] = {
-            proc: [] for proc in partition.platform.processors
-        }
-        self._sq_g: Dict[int, List[_Request]] = {
-            proc: [] for proc in partition.platform.processors
-        }
-
-        # Lock state.
-        self._local_lock_holder: Dict[Tuple[int, int], Optional[_VertexInstance]] = {}
-        self._local_waiters: Dict[Tuple[int, int], List[_VertexInstance]] = {}
-        self._global_lock_holder: Dict[int, Optional[_Request]] = {
-            rid: None for rid in self.taskset.global_resources()
-        }
 
         self._jobs: Dict[Tuple[int, int], _JobState] = {}
         self._instances_by_job: Dict[Tuple[int, int], Dict[int, _VertexInstance]] = {}
         self._job_counters: Dict[int, int] = {t.task_id: 0 for t in self.taskset}
+
+        if protocol is None:
+            from .protocols import DpcpPBehavior
+
+            protocol = DpcpPBehavior()
+        self.protocol = protocol
+        self.protocol.attach(self)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -378,7 +385,13 @@ class DpcpPSimulator:
         self._dispatch_segment(instance)
 
     def _dispatch_segment(self, instance: _VertexInstance) -> None:
-        """Place a vertex according to its current segment (Rules 1-3)."""
+        """Place a vertex according to its current segment.
+
+        Non-critical segments join the task's ``RQ^N``; critical segments
+        are handed to the protocol behavior, which decides how the request
+        is issued (suspend and dispatch an agent, enter a spin queue, take
+        a local semaphore, ...).
+        """
         segment = instance.current_segment
         if segment is None:
             self._complete_vertex(instance)
@@ -390,120 +403,7 @@ class DpcpPSimulator:
         if not segment.is_critical:
             self._rq_n[instance.task_id].append(instance)
             return
-        resource = segment.resource
-        if self.taskset.is_global(resource):
-            self._issue_global_request(instance, resource, segment.duration)
-        else:
-            self._issue_local_request(instance, resource)
-
-    # ------------------------------------------------------------------ #
-    # Local resources (Rules 1, 2)
-    # ------------------------------------------------------------------ #
-    def _issue_local_request(self, instance: _VertexInstance, resource: int) -> None:
-        key = (instance.task_id, resource)
-        holder = self._local_lock_holder.get(key)
-        if holder is None:
-            self._local_lock_holder[key] = instance
-            self._rq_l[instance.task_id].append(instance)
-        else:
-            self._suspended[instance.task_id].append(instance)
-            self._local_waiters.setdefault(key, []).append(instance)
-
-    def _release_local_lock(self, instance: _VertexInstance, resource: int) -> None:
-        key = (instance.task_id, resource)
-        if self._local_lock_holder.get(key) is not instance:
-            raise SimulationError("local lock released by a non-holder")
-        self._local_lock_holder[key] = None
-        waiters = self._local_waiters.get(key, [])
-        if waiters:
-            successor = waiters.pop(0)
-            self._suspended[instance.task_id].remove(successor)
-            self._local_lock_holder[key] = successor
-            self._rq_l[successor.task_id].append(successor)
-
-    # ------------------------------------------------------------------ #
-    # Global resources (Rules 3, 4) and the priority ceiling
-    # ------------------------------------------------------------------ #
-    def _issue_global_request(
-        self, instance: _VertexInstance, resource: int, duration: float
-    ) -> None:
-        processor = self.partition.processor_of_resource(resource)
-        record = RequestRecord(
-            task_id=instance.task_id,
-            job_id=instance.job_id,
-            vertex=instance.vertex,
-            resource=resource,
-            priority=instance.priority,
-            issue_time=self.now,
-        )
-        if self.record_trace:
-            self.trace.requests.append(record)
-        request = _Request(
-            task_id=instance.task_id,
-            job_id=instance.job_id,
-            vertex=instance.vertex,
-            resource=resource,
-            priority=instance.priority,
-            processor=processor,
-            remaining=duration,
-            record=record,
-        )
-        self._suspended[instance.task_id].append(instance)
-        if self._ceiling_allows(processor, request):
-            self._grant(request)
-        else:
-            self._sq_g[processor].append(request)
-
-    def _processor_ceiling(self, processor: int) -> Optional[int]:
-        """Highest ceiling among global resources locked on ``processor``."""
-        ceiling: Optional[int] = None
-        for rid in self.partition.resources_on_processor(processor):
-            holder = self._global_lock_holder.get(rid)
-            if holder is None:
-                continue
-            resource_ceiling = self.taskset.resource_ceiling(rid)
-            if ceiling is None or resource_ceiling > ceiling:
-                ceiling = resource_ceiling
-        return ceiling
-
-    def _ceiling_allows(self, processor: int, request: _Request) -> bool:
-        ceiling = self._processor_ceiling(processor)
-        return ceiling is None or request.priority > ceiling
-
-    def _grant(self, request: _Request) -> None:
-        if self._global_lock_holder.get(request.resource) is not None:
-            raise SimulationError(
-                f"resource {request.resource} granted while already locked"
-            )
-        self._global_lock_holder[request.resource] = request
-        request.record.grant_time = self.now
-        self._rq_g[request.processor].append(request)
-
-    def _finish_request(self, request: _Request) -> None:
-        """Rule 4: the request releases its lock and the vertex resumes."""
-        if self._global_lock_holder.get(request.resource) is not request:
-            raise SimulationError("global lock released by a non-holder")
-        self._global_lock_holder[request.resource] = None
-        request.record.finish_time = self.now
-        self._rq_g[request.processor].remove(request)
-        # Wake waiting requests that now pass the ceiling test, in priority order.
-        self._admit_from_sq_g(request.processor)
-        # The requesting vertex resumes with its next segment.
-        instance = self._find_instance(request.task_id, request.job_id, request.vertex)
-        self._suspended[request.task_id].remove(instance)
-        instance.advance_segment()
-        self._dispatch_segment(instance)
-
-    def _admit_from_sq_g(self, processor: int) -> None:
-        waiting = self._sq_g[processor]
-        while waiting:
-            candidate = max(waiting, key=lambda r: r.priority)
-            if not self._ceiling_allows(processor, candidate):
-                break
-            if self._global_lock_holder.get(candidate.resource) is not None:
-                break
-            waiting.remove(candidate)
-            self._grant(candidate)
+        self.protocol.issue_request(instance, segment)
 
     # ------------------------------------------------------------------ #
     # Vertex completion and precedence
@@ -526,50 +426,11 @@ class DpcpPSimulator:
         return self._instances_by_job[(task_id, job_id)][vertex]
 
     # ------------------------------------------------------------------ #
-    # Processor scheduling (work-conserving, agents first)
+    # Processor scheduling (delegated to the protocol behavior)
     # ------------------------------------------------------------------ #
     def _schedule_processors(self) -> None:
         for processor in self.partition.platform.processors:
-            self._schedule_processor(processor)
-
-    def _schedule_processor(self, processor: int) -> None:
-        running = self._running[processor]
-        best_agent = self._best_waiting_agent(processor)
-
-        if best_agent is not None:
-            if running is None:
-                self._start_agent(processor, best_agent)
-                return
-            if running.kind == "vertex":
-                self._preempt(processor)
-                self._start_agent(processor, best_agent)
-                return
-            if running.kind == "agent" and best_agent.priority > running.request.priority:
-                self._preempt(processor)
-                self._start_agent(processor, best_agent)
-                return
-            return
-
-        if running is not None:
-            return
-
-        owner = self.partition.owner_of_processor(processor)
-        if owner is None:
-            return
-        instance = self._next_ready_vertex(owner)
-        if instance is not None:
-            self._start_vertex(processor, instance)
-
-    def _best_waiting_agent(self, processor: int) -> Optional[_Request]:
-        executing = {
-            chunk.request.key
-            for chunk in self._running.values()
-            if chunk is not None and chunk.kind == "agent"
-        }
-        candidates = [r for r in self._rq_g[processor] if r.key not in executing]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda r: r.priority)
+            self.protocol.schedule_processor(processor)
 
     def _next_ready_vertex(self, task_id: int) -> Optional[_VertexInstance]:
         if self._rq_l[task_id]:
@@ -608,11 +469,38 @@ class DpcpPSimulator:
         )
         self._push_event(self.now + request.remaining, "chunk_done", (processor, sequence))
 
+    def _start_spin(self, processor: int, instance: _VertexInstance) -> None:
+        """Begin a busy-wait chunk: the vertex occupies ``processor``.
+
+        No completion event is pushed — the spin ends only when the protocol
+        behavior hands over the lock and calls :meth:`_end_spin`.
+        """
+        sequence = next(self._chunk_counter)
+        self._running[processor] = _RunningChunk(
+            kind="spin",
+            vertex=instance,
+            request=None,
+            start_time=self.now,
+            sequence=sequence,
+            resource=None,
+        )
+
+    def _end_spin(self, processor: int) -> _VertexInstance:
+        """Finish the busy-wait on ``processor`` and record the spin interval."""
+        chunk = self._running[processor]
+        if chunk is None or chunk.kind != "spin":
+            raise SimulationError(f"no spin in progress on processor {processor}")
+        self._record_interval(processor, chunk, self.now)
+        self._running[processor] = None
+        return chunk.vertex
+
     def _preempt(self, processor: int) -> None:
         """Stop the chunk running on ``processor`` and put the work back."""
         chunk = self._running[processor]
         if chunk is None:
             return
+        if chunk.kind == "spin":
+            raise SimulationError("a busy-waiting vertex cannot be preempted")
         elapsed = self.now - chunk.start_time
         self._record_interval(processor, chunk, self.now)
         if chunk.kind == "vertex":
@@ -642,7 +530,7 @@ class DpcpPSimulator:
             segment = instance.current_segment
             instance.remaining_in_segment = 0.0
             if segment is not None and segment.is_critical:
-                self._release_local_lock(instance, segment.resource)
+                self.protocol.critical_section_finished(instance, segment)
             instance.advance_segment()
             if instance.finished:
                 self._complete_vertex(instance)
@@ -651,24 +539,12 @@ class DpcpPSimulator:
         else:
             request = chunk.request
             request.remaining = 0.0
-            self._finish_request(request)
+            self.protocol.agent_finished(request)
 
     def _record_interval(
         self, processor: int, chunk: _RunningChunk, end_time: float
     ) -> None:
-        if chunk.kind == "vertex":
-            instance = chunk.vertex
-            interval = ExecutionInterval(
-                processor=processor,
-                start=chunk.start_time,
-                end=end_time,
-                task_id=instance.task_id,
-                job_id=instance.job_id,
-                vertex=instance.vertex,
-                resource=chunk.resource,
-                is_agent=False,
-            )
-        else:
+        if chunk.kind == "agent":
             request = chunk.request
             interval = ExecutionInterval(
                 processor=processor,
@@ -680,18 +556,42 @@ class DpcpPSimulator:
                 resource=request.resource,
                 is_agent=True,
             )
+        else:
+            instance = chunk.vertex
+            interval = ExecutionInterval(
+                processor=processor,
+                start=chunk.start_time,
+                end=end_time,
+                task_id=instance.task_id,
+                job_id=instance.job_id,
+                vertex=instance.vertex,
+                resource=chunk.resource,
+                is_agent=False,
+                is_spin=chunk.kind == "spin",
+            )
         if self.interval_observer is not None and end_time - chunk.start_time > _EPS:
             self.interval_observer(interval)
         if self.record_trace:
             self.trace.add_interval(interval)
 
 
+class DpcpPSimulator(RuntimeSimulator):
+    """Backwards-compatible name for the DPCP-p-defaulting simulator.
+
+    ``RuntimeSimulator`` already defaults to
+    :class:`~repro.sim.protocols.DpcpPBehavior`; this subclass exists so the
+    pre-refactor name (and every existing call site) keeps working.
+    """
+
+
 def simulate_periodic(
     partition: PartitionedSystem,
     horizon: float,
     behaviors: Optional[Dict[int, Dict[int, VertexBehavior]]] = None,
+    *,
+    protocol=None,
 ) -> SimulationTrace:
     """Convenience wrapper: release periodic jobs up to ``horizon`` and run."""
-    simulator = DpcpPSimulator(partition, behaviors)
+    simulator = RuntimeSimulator(partition, behaviors, protocol=protocol)
     simulator.release_periodic_jobs(horizon)
     return simulator.run()

@@ -35,6 +35,11 @@ class ExecutionInterval:
     #: ``True`` when the interval is executed by a resource agent on the
     #: resource's home processor (global resources only).
     is_agent: bool = False
+    #: ``True`` when the interval is a busy-wait: the vertex occupied the
+    #: processor while spinning for a lock (SPIN runtime only).  Spin
+    #: intervals carry ``resource=None`` — the spinner does not hold the
+    #: resource yet.
+    is_spin: bool = False
 
 
 @dataclass
@@ -195,12 +200,32 @@ class SimulationTrace:
                 )
         return problems
 
+    def check_spin_exclusivity(self) -> List[str]:
+        """A busy-waiting vertex occupies its processor exclusively.
+
+        For every spin interval, no other execution interval may overlap it
+        on the same processor: spinning is not suspension — the processor is
+        consumed by the waiting vertex (the SPIN runtime invariant).
+        """
+        problems: List[str] = []
+        processors = {i.processor for i in self.intervals if i.is_spin}
+        for processor in processors:
+            ordered = self.intervals_on(processor)
+            for first, second in zip(ordered, ordered[1:]):
+                if second.start < first.end - _EPS and (first.is_spin or second.is_spin):
+                    problems.append(
+                        f"processor {processor}: execution overlaps a busy-wait "
+                        f"[{first.start}, {first.end}) and [{second.start}, {second.end})"
+                    )
+        return problems
+
     def check_all(self) -> List[str]:
         """Run every invariant check and return the concatenated problems."""
         return (
             self.check_processor_exclusivity()
             + self.check_mutual_exclusion()
             + self.check_lemma1()
+            + self.check_spin_exclusivity()
         )
 
     # ------------------------------------------------------------------ #

@@ -30,8 +30,9 @@ from typing import Dict, List, Mapping, Optional
 from ..model.platform import PartitionedSystem
 from ..model.task import TaskSet
 from ..obs.telemetry import active as _active_telemetry
+from .protocols import behavior_for
 from .simulator import (
-    DpcpPSimulator,
+    RuntimeSimulator,
     SimulationError,
     SimulationTruncated,
     _EPS,
@@ -155,9 +156,11 @@ class InvariantMonitor:
     def __init__(self) -> None:
         self.mutual_exclusion_violations = 0
         self.processor_overlaps = 0
+        self.spin_exclusivity_violations = 0
         self.intervals_observed = 0
         self._resource_max_end: Dict[int, float] = {}
         self._processor_max_end: Dict[int, float] = {}
+        self._processor_spin_max_end: Dict[int, float] = {}
 
     def __call__(self, interval: ExecutionInterval) -> None:
         """Observe one recorded interval (the simulator's observer hook)."""
@@ -165,8 +168,19 @@ class InvariantMonitor:
         last = self._processor_max_end.get(interval.processor)
         if last is not None and interval.start < last - _EPS:
             self.processor_overlaps += 1
+        # SPIN-specific invariant: a busy-waiting vertex occupies its
+        # processor — nothing may overlap a spin interval there (and a spin
+        # interval may not overlap any earlier execution).  Same O(1)
+        # max-end argument as above, restricted to spin intervals.
+        last_spin = self._processor_spin_max_end.get(interval.processor)
+        if last_spin is not None and interval.start < last_spin - _EPS:
+            self.spin_exclusivity_violations += 1
+        elif interval.is_spin and last is not None and interval.start < last - _EPS:
+            self.spin_exclusivity_violations += 1
         if last is None or interval.end > last:
             self._processor_max_end[interval.processor] = interval.end
+        if interval.is_spin and (last_spin is None or interval.end > last_spin):
+            self._processor_spin_max_end[interval.processor] = interval.end
         if interval.resource is not None:
             last = self._resource_max_end.get(interval.resource)
             if last is not None and interval.start < last - _EPS:
@@ -177,7 +191,11 @@ class InvariantMonitor:
     @property
     def violations(self) -> int:
         """Total invariant violations observed so far."""
-        return self.mutual_exclusion_violations + self.processor_overlaps
+        return (
+            self.mutual_exclusion_violations
+            + self.processor_overlaps
+            + self.spin_exclusivity_violations
+        )
 
 
 @dataclass
@@ -200,6 +218,7 @@ class ValidationOutcome:
     deadline_misses: int
     mutual_exclusion_violations: int
     processor_overlaps: int
+    spin_exclusivity_violations: int = 0
     observed_response_times: Dict[int, float] = field(default_factory=dict)
     truncation_reason: Optional[str] = None
     rule_error: Optional[str] = None
@@ -211,10 +230,15 @@ class ValidationOutcome:
 
 
 def validate_partition(
-    partition: PartitionedSystem, config: Optional[SimulationConfig] = None
+    partition: PartitionedSystem,
+    config: Optional[SimulationConfig] = None,
+    protocol: str = "DPCP-p",
 ) -> ValidationOutcome:
     """Simulate one partitioned system and collect validation evidence.
 
+    ``protocol`` selects the runtime locking rules — any analysis-protocol
+    name with a runtime behavior (``DPCP-p``/``DPCP-p-EP``/``DPCP-p-EN``,
+    ``SPIN``, ``LPP``; see :func:`repro.sim.protocols.behavior_for`).
     Releases strictly periodic jobs of every task over the configured
     horizon (see :func:`validation_horizon`), runs the simulator with the
     configured budgets, and returns the observed per-task maximum response
@@ -224,8 +248,9 @@ def validate_partition(
     """
     config = config or SimulationConfig()
     monitor = InvariantMonitor()
-    simulator = DpcpPSimulator(
+    simulator = RuntimeSimulator(
         partition,
+        protocol=behavior_for(protocol),
         record_trace=config.retain_trace,
         interval_observer=monitor,
     )
@@ -275,6 +300,7 @@ def validate_partition(
         deadline_misses=misses,
         mutual_exclusion_violations=monitor.mutual_exclusion_violations,
         processor_overlaps=monitor.processor_overlaps,
+        spin_exclusivity_violations=monitor.spin_exclusivity_violations,
         observed_response_times=observed,
         truncation_reason=truncation_reason,
         rule_error=rule_error,

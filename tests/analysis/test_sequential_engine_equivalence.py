@@ -1,0 +1,154 @@
+"""Kernel-vs-reference equivalence for the sequential (classic DPCP) analysis.
+
+The compiled :class:`SequentialDpcpKernel` (``engine="kernel"``, the default)
+must reproduce the straight-line reference oracle (``engine="reference"``)
+bound-for-bound: random sequential systems across 200 fixed seeds must agree
+within 1e-9 and produce identical per-task schedulability verdicts —
+mirroring ``test_baseline_engine_equivalence.py`` for the DAG baselines.
+``test_sequential_dpcp.py`` keeps exercising the reference oracle directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.sequential import (
+    SequentialDpcpKernel,
+    SequentialTask,
+    analyze_sequential_system,
+    partition_sequential_system,
+    sequential_dpcp_wcrt,
+)
+
+TOLERANCE = 1e-9
+SEEDS = range(200)
+
+
+def random_sequential_system(seed, num_processors=4):
+    """A random partitioned sequential system, or None when the draw fails.
+
+    Critical sections are generated first and the WCET built on top of
+    them, so every draw satisfies the model validation; roughly half the
+    task/resource pairs interact, which keeps ceiling blocking, agent
+    interference, and remote requests all exercised.
+    """
+    rng = random.Random(seed)
+    num_tasks = rng.randint(3, 8)
+    num_resources = rng.randint(2, 4)
+    tasks = []
+    for task_id in range(num_tasks):
+        requests = {}
+        for rid in range(num_resources):
+            if rng.random() < 0.5:
+                requests[rid] = (rng.randint(1, 3), rng.uniform(5.0, 40.0))
+        cs_total = sum(count * length for count, length in requests.values())
+        wcet = cs_total + rng.uniform(50.0, 400.0)
+        period = wcet * rng.uniform(4.0, 40.0)
+        tasks.append(
+            SequentialTask(
+                task_id=task_id,
+                wcet=wcet,
+                period=period,
+                priority=num_tasks - task_id,
+                requests=requests,
+            )
+        )
+    return partition_sequential_system(tasks, num_processors)
+
+
+def assert_bounds_agree(kernel_bounds, reference_bounds, tasks):
+    """Same keys, bounds within 1e-9 (or both inf), same verdicts."""
+    assert kernel_bounds.keys() == reference_bounds.keys()
+    deadlines = {task.task_id: task.deadline for task in tasks}
+    for task_id, kernel_wcrt in kernel_bounds.items():
+        reference_wcrt = reference_bounds[task_id]
+        if math.isinf(kernel_wcrt) or math.isinf(reference_wcrt):
+            assert math.isinf(kernel_wcrt) == math.isinf(reference_wcrt), (
+                f"task {task_id}: kernel={kernel_wcrt!r} "
+                f"reference={reference_wcrt!r}"
+            )
+        else:
+            assert math.isclose(
+                kernel_wcrt, reference_wcrt, rel_tol=TOLERANCE, abs_tol=TOLERANCE
+            ), f"task {task_id}: kernel={kernel_wcrt!r} reference={reference_wcrt!r}"
+        deadline = deadlines[task_id]
+        assert (kernel_wcrt <= deadline + 1e-9) == (
+            reference_wcrt <= deadline + 1e-9
+        ), f"task {task_id}: verdicts disagree"
+
+
+def test_kernel_matches_reference_over_200_seeds():
+    """Full-system agreement (bounds and verdicts) across the seed grid."""
+    analysed = 0
+    for seed in SEEDS:
+        system = random_sequential_system(seed)
+        if system is None:
+            continue
+        analysed += 1
+        assert_bounds_agree(
+            analyze_sequential_system(system, engine="kernel"),
+            analyze_sequential_system(system, engine="reference"),
+            system.tasks,
+        )
+    # The grid must actually exercise the comparison, not skip everything.
+    assert analysed >= 150
+
+
+def test_per_task_wcrt_agreement_with_carried_bounds():
+    """Single-task bounds agree from a half-analysed response-time state."""
+    checked = 0
+    for seed in (3, 42, 99, 1234):
+        system = random_sequential_system(seed)
+        if system is None:
+            continue
+        tasks = sorted(system.tasks, key=lambda t: t.priority, reverse=True)
+        response_times = {
+            t.task_id: 0.7 * t.deadline for t in tasks[: len(tasks) // 2]
+        }
+        kernel = SequentialDpcpKernel(system)
+        for task in tasks:
+            a = kernel.wcrt(task, response_times)
+            b = sequential_dpcp_wcrt(
+                system, task, response_times, engine="reference"
+            )
+            checked += 1
+            assert math.isinf(a) == math.isinf(b)
+            if not math.isinf(a):
+                assert math.isclose(a, b, rel_tol=TOLERANCE, abs_tol=TOLERANCE)
+    assert checked > 0
+
+
+def test_wcrt_engine_dispatch_agrees():
+    """The public function's kernel lane matches its reference lane."""
+    system = random_sequential_system(7)
+    assert system is not None
+    for task in system.tasks:
+        a = sequential_dpcp_wcrt(system, task, engine="kernel")
+        b = sequential_dpcp_wcrt(system, task, engine="reference")
+        assert math.isinf(a) == math.isinf(b)
+        if not math.isinf(a):
+            assert math.isclose(a, b, rel_tol=TOLERANCE, abs_tol=TOLERANCE)
+
+
+def test_kernel_lanes_are_compiled_once_per_task():
+    """The analyze sweep reuses each task's lane instead of recompiling."""
+    system = random_sequential_system(11)
+    assert system is not None
+    kernel = SequentialDpcpKernel(system)
+    kernel.analyze()
+    lanes = {tid: lane for tid, lane in kernel._lanes.items()}
+    kernel.analyze()
+    for tid, lane in kernel._lanes.items():
+        assert lanes[tid] is lane
+
+
+def test_unknown_engine_rejected():
+    system = random_sequential_system(7)
+    assert system is not None
+    with pytest.raises(ValueError):
+        analyze_sequential_system(system, engine="bogus")
+    with pytest.raises(ValueError):
+        sequential_dpcp_wcrt(system, system.tasks[0], engine="bogus")

@@ -152,3 +152,19 @@ def test_cli_rejects_non_positive_limit(tmp_path):
         run_cli("run", "--store", str(tmp_path / "s"), *RUN_FLAGS, "--limit", "-1")
         == 2
     )
+
+
+def test_cli_simulate_mode_names_the_unsimulatable_protocol(tmp_path, capsys):
+    # FED-FP is the only protocol left without runtime locking rules; the
+    # simulate-mode rejection must name it (and only it) — SPIN and LPP
+    # are part of the simulatable suite since the ProtocolBehavior refactor.
+    flags = ["--grid", "fig2", "--filter", "m=16", "--samples", "1",
+             "--step", "0.5", "--vertices", "5,8", "--seed", "2020",
+             "--quiet", "--mode", "simulate"]
+    code = run_cli("run", "--store", str(tmp_path / "s"), *flags,
+                   "--protocols", "LPP,FED-FP")
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "FED-FP cannot be simulated" in err
+    assert "LPP cannot" not in err
+    assert "simulatable: DPCP-p-EP, DPCP-p-EN, SPIN, LPP" in err

@@ -59,15 +59,26 @@ def _strip_volatile(path):
 # --------------------------------------------------------------------------- #
 # Planning
 # --------------------------------------------------------------------------- #
-def test_simulate_mode_defaults_to_the_dpcp_p_protocols():
+def test_simulate_mode_defaults_to_the_simulatable_suite():
     plan = plan_campaign([SCENARIO], SWEEP, mode=MODE_SIMULATE)
     assert tuple(plan.protocol_names) == SIMULATABLE_PROTOCOLS
+    assert set(SIMULATABLE_PROTOCOLS) == {"DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP"}
     assert plan.sim_config == SimulationConfig()
 
 
 def test_simulate_mode_refuses_unsimulatable_protocols():
-    with pytest.raises(ValueError, match="cannot be simulated"):
-        plan_campaign([SCENARIO], SWEEP, ["DPCP-p-EP", "SPIN"], mode=MODE_SIMULATE)
+    # FED-FP is the only remaining protocol without runtime rules; the
+    # error names the offender, not just the acceptable list.
+    with pytest.raises(ValueError, match="FED-FP cannot be simulated"):
+        plan_campaign([SCENARIO], SWEEP, ["DPCP-p-EP", "FED-FP"], mode=MODE_SIMULATE)
+
+
+def test_simulate_mode_accepts_the_spin_and_lpp_baselines():
+    plan = plan_campaign(
+        [SCENARIO], SWEEP, ["DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP"],
+        mode=MODE_SIMULATE,
+    )
+    assert plan.protocol_names == ["DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP"]
 
 
 def test_analyze_mode_refuses_a_simulation_config():
@@ -191,4 +202,7 @@ def test_cli_refuses_unsimulatable_protocols(tmp_path, capsys):
     code = cli.main(["run", "--store", store, *SUBSET_FLAGS,
                      "--protocols", "SPIN,FED-FP"])
     assert code == 2
-    assert "cannot be simulated" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "FED-FP cannot be simulated" in err
+    # SPIN is simulatable now — only the offender is named.
+    assert "SPIN cannot" not in err

@@ -151,3 +151,39 @@ def test_foreign_or_future_manifests_are_refused(tmp_path, manifest):
         json.dump({"name": "some other tool"}, handle)
     with pytest.raises(StoreError):  # not a raw KeyError
         CampaignStore(str(foreign_dir)).read_manifest()
+
+
+def test_manifest_versions_are_checked_per_mode(tmp_path, scenario):
+    """Simulate stores version independently of analyze stores.
+
+    A pre-refactor simulate store (old ``FORMAT_VERSION`` stamp) must be
+    refused, while an analyze store carrying that same number — the
+    version still in force for its mode — keeps loading.
+    """
+    from repro.campaign.planner import (
+        FORMAT_VERSION,
+        MODE_SIMULATE,
+        SIMULATE_FORMAT_VERSION,
+    )
+
+    sweep = SweepConfig(samples_per_point=2, utilization_step_fraction=0.5, seed=11)
+    simulate_manifest = campaign_manifest(
+        plan_campaign([scenario], sweep, mode=MODE_SIMULATE)
+    )
+    assert simulate_manifest["format_version"] == SIMULATE_FORMAT_VERSION
+
+    store = CampaignStore(str(tmp_path / "old-simulate"))
+    store.initialize(simulate_manifest)
+    with open(store.manifest_path) as handle:
+        data = json.load(handle)
+    data["format_version"] = FORMAT_VERSION  # pre-refactor simulate stamp
+    with open(store.manifest_path, "w") as handle:
+        json.dump(data, handle)
+    with pytest.raises(StoreError, match="simulate"):
+        store.read_manifest()
+
+    analyze_manifest = campaign_manifest(plan_campaign([scenario], sweep, ["SPIN"]))
+    assert analyze_manifest["format_version"] == FORMAT_VERSION
+    analyze_store = CampaignStore(str(tmp_path / "analyze"))
+    analyze_store.initialize(analyze_manifest)
+    assert analyze_store.read_manifest()["format_version"] == FORMAT_VERSION

@@ -24,10 +24,11 @@ CAMPAIGN_FLAGS = [
 CAMPAIGN_UNITS = 4
 
 #: Flags of the deterministic *simulate-mode* fixture campaign: all four
-#: Fig. 2 scenarios (x 4 utilization points) on tiny DAGs, the DPCP-p
-#: protocol pair, and an event budget small enough that one run truncates
-#: (exercising that path deterministically — wall-clock budgets would not
-#: be reproducible).
+#: Fig. 2 scenarios (x 4 utilization points) on tiny DAGs, the full
+#: simulatable suite (no ``--protocols`` — the default covers DPCP-p
+#: EP/EN, SPIN and LPP), and an event budget small enough that one run
+#: truncates (exercising that path deterministically — wall-clock budgets
+#: would not be reproducible).
 SIM_CAMPAIGN_FLAGS = [
     "--mode", "simulate",
     "--grid", "fig2",

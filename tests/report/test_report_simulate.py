@@ -34,7 +34,7 @@ def test_simulate_store_aggregates_validation_evidence(simulate_store):
     assert aggregate.complete
     assert aggregate.completed_units == SIM_CAMPAIGN_UNITS
     totals = aggregate.validation_totals()
-    assert set(totals) == {"DPCP-p-EP", "DPCP-p-EN"}
+    assert set(totals) == {"DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP"}
     simulated = sum(rollup.simulated for rollup in totals.values())
     assert simulated > 0, "the fixture must actually simulate accepted task sets"
     # Per-scenario rollups merge exactly into the campaign totals.
@@ -50,9 +50,13 @@ def test_simulate_campaign_is_sound_zero_violations(simulate_store):
     """Acceptance criterion: no ME violations, no deadline misses, no
     observed-over-bound overflows among analysis-accepted task sets."""
     aggregate = aggregate_store(simulate_store, use_cache=False)
-    for protocol, rollup in aggregate.validation_totals().items():
+    totals = aggregate.validation_totals()
+    assert set(totals) == {"DPCP-p-EP", "DPCP-p-EN", "SPIN", "LPP"}
+    for protocol, rollup in totals.items():
+        assert rollup.simulated > 0, protocol
         assert rollup.mutual_exclusion_violations == 0, protocol
         assert rollup.processor_overlaps == 0, protocol
+        assert rollup.spin_exclusivity_violations == 0, protocol
         assert rollup.deadline_misses == 0, protocol
         assert rollup.rule_failures == 0, protocol
         assert rollup.ratio.overflows == 0, protocol
@@ -91,6 +95,8 @@ def test_simulate_markdown_report_carries_the_tightness_table(simulate_store):
     text = render_markdown_report(aggregate)
     assert "## Bound tightness (observed / analytical WCRT)" in text
     assert "| **all** | DPCP-p-EP |" in text
+    assert "| **all** | SPIN |" in text
+    assert "| **all** | LPP |" in text
     assert "Soundness: **no violations**" in text
 
 

@@ -1,0 +1,330 @@
+"""Protocol behaviors (repro.sim.protocols): SPIN/LPP rules and soundness.
+
+Three layers of evidence that the protocol-pluggable simulator is faithful:
+
+* handcrafted scenarios with known grant orders — SPIN's task-fair FIFO
+  serves waiters in arrival order regardless of priority, LPP serves the
+  highest-priority waiter first, and both start every granted critical
+  section immediately (spin occupancy / boosted placement);
+* direct unit tests of the SPIN spin-occupancy invariant, both the online
+  :class:`InvariantMonitor` counter and the trace-level
+  ``check_spin_exclusivity`` sweep, on synthetic interval streams;
+* a randomised cross-protocol soundness suite: for every simulatable
+  baseline (DPCP-p-EP, DPCP-p-EN, SPIN, LPP), task sets the analysis
+  accepts never miss a deadline in simulation and never exceed their
+  analytical WCRT bound.
+
+``check_lemma1`` is deliberately absent from the SPIN assertions: FIFO
+spin locks serve requests in arrival order, so a high-priority request can
+legitimately wait behind several lower-priority holders — Lemma 1 is a
+DPCP-p property, not a SPIN one.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import DpcpPEnTest, DpcpPEpTest, LppTest, SpinTest
+from repro.generation import (
+    DagGenerationConfig,
+    GenerationError,
+    ResourceGenerationConfig,
+    TaskSetGenerationConfig,
+    generate_taskset,
+)
+from repro.model.dag import DAG
+from repro.model.platform import Cluster, PartitionedSystem, Platform
+from repro.model.resources import ResourceUsage
+from repro.model.task import DAGTask, TaskSet, Vertex
+from repro.sim import (
+    DpcpPBehavior,
+    LppBehavior,
+    RuntimeSimulator,
+    SimulationError,
+    SpinBehavior,
+    behavior_for,
+)
+from repro.sim.trace import ExecutionInterval, SimulationTrace
+from repro.sim.validation import InvariantMonitor
+
+CS_LENGTH = 2.0
+
+
+def tiny_config(access_probability=0.6):
+    """Small task sets with real contention (mirrors test_sim_properties)."""
+    return TaskSetGenerationConfig(
+        average_utilization=1.5,
+        dag=DagGenerationConfig(num_vertices_range=(5, 10), edge_probability=0.2),
+        resources=ResourceGenerationConfig(
+            num_resources_range=(2, 3),
+            access_probability=access_probability,
+            request_count_range=(1, 4),
+            cs_length_range=(20.0, 60.0),
+        ),
+    )
+
+
+def three_task_contended_system():
+    """Three single-chain tasks on separate clusters sharing one resource.
+
+    Identical task shapes, so the critical-section issue offset within the
+    first vertex is the same for all three — staggering the *release* times
+    staggers the lock requests by exactly the same amounts.
+    """
+    tasks = []
+    for task_id, priority in ((0, 3), (1, 2), (2, 1)):
+        tasks.append(
+            DAGTask(
+                task_id,
+                [Vertex(0, 3.0, requests={7: 1}), Vertex(1, 1.0)],
+                DAG(2, [(0, 1)]),
+                period=50.0,
+                resource_usages=[ResourceUsage(7, 1, CS_LENGTH)],
+                priority=priority,
+            )
+        )
+    taskset = TaskSet(tasks)
+    platform = Platform(4)
+    clusters = {0: Cluster(0, [0]), 1: Cluster(1, [1]), 2: Cluster(2, [2])}
+    return PartitionedSystem(taskset, platform, clusters, {7: 3})
+
+
+def run_staggered(protocol):
+    """Release task 2 first, then task 1, then task 0; simulate to drain."""
+    partition = three_task_contended_system()
+    simulator = RuntimeSimulator(partition, protocol=protocol)
+    simulator.release_job(2, 0.0)
+    simulator.release_job(1, 0.4)
+    simulator.release_job(0, 0.8)
+    return simulator.run()
+
+
+# --------------------------------------------------------------------------- #
+# Behavior registry
+# --------------------------------------------------------------------------- #
+def test_behavior_for_maps_every_simulatable_protocol():
+    assert isinstance(behavior_for("DPCP-p"), DpcpPBehavior)
+    assert isinstance(behavior_for("DPCP-p-EP"), DpcpPBehavior)
+    assert isinstance(behavior_for("DPCP-p-EN"), DpcpPBehavior)
+    assert isinstance(behavior_for("SPIN"), SpinBehavior)
+    assert isinstance(behavior_for("LPP"), LppBehavior)
+
+
+def test_behavior_for_rejects_protocols_without_runtime_rules():
+    with pytest.raises(ValueError, match="FED-FP"):
+        behavior_for("FED-FP")
+    with pytest.raises(ValueError, match="SPIN"):
+        # The error names the simulatable suite.
+        behavior_for("no-such-protocol")
+
+
+def test_behavior_attaches_to_exactly_one_simulator():
+    partition = three_task_contended_system()
+    behavior = SpinBehavior()
+    RuntimeSimulator(partition, protocol=behavior)
+    with pytest.raises(SimulationError):
+        RuntimeSimulator(partition, protocol=behavior)
+
+
+def test_spin_and_lpp_do_not_execute_agents():
+    for behavior in (SpinBehavior(), LppBehavior()):
+        with pytest.raises(SimulationError):
+            behavior.agent_finished(object())
+
+
+# --------------------------------------------------------------------------- #
+# SPIN: task-fair FIFO, spin occupancy
+# --------------------------------------------------------------------------- #
+def test_spin_serves_waiters_in_fifo_order_not_priority_order():
+    trace = run_staggered(SpinBehavior())
+    ordered = sorted(trace.requests, key=lambda r: r.grant_time)
+    # Arrival order (2, then 1, then 0) wins even though task 0 has the
+    # highest priority — a priority queue would grant 0 before 1.
+    assert [r.task_id for r in ordered] == [2, 1, 0]
+    assert trace.check_mutual_exclusion() == []
+    assert trace.check_processor_exclusivity() == []
+    assert trace.check_spin_exclusivity() == []
+
+
+def test_spin_busy_wait_occupies_the_processor():
+    trace = run_staggered(SpinBehavior())
+    spins = [i for i in trace.intervals if i.is_spin]
+    # Tasks 1 and 0 both arrive while the lock is held, so both spin —
+    # on their own processors, against no resource.
+    assert {i.task_id for i in spins} == {0, 1}
+    assert all(i.resource is None for i in spins)
+    assert all(i.processor == i.task_id for i in spins)
+    # SPIN runs critical sections inline on the requesting vertex's
+    # processor: no agents anywhere.
+    assert not any(i.is_agent for i in trace.intervals)
+
+
+def test_spin_grants_start_the_critical_section_immediately():
+    trace = run_staggered(SpinBehavior())
+    for request in trace.requests:
+        # The spinner already occupies its processor, so the critical
+        # section runs back-to-back with the grant.
+        assert request.finish_time - request.grant_time == pytest.approx(CS_LENGTH)
+
+
+# --------------------------------------------------------------------------- #
+# LPP: priority-ordered grants, boosted placement
+# --------------------------------------------------------------------------- #
+def test_lpp_serves_the_highest_priority_waiter_first():
+    trace = run_staggered(LppBehavior())
+    ordered = sorted(trace.requests, key=lambda r: r.grant_time)
+    # Task 2 holds the lock (it asked while the resource was free); tasks 1
+    # and 0 queue behind it.  LPP grants by priority: 0 before 1, even
+    # though 1 arrived first.
+    assert [r.task_id for r in ordered] == [2, 0, 1]
+    assert trace.check_mutual_exclusion() == []
+    assert trace.check_processor_exclusivity() == []
+    # Single shared resource, priority-ordered grants: Lemma 1 holds.
+    assert trace.check_lemma1() == []
+
+
+def test_lpp_suspends_waiters_instead_of_spinning():
+    trace = run_staggered(LppBehavior())
+    assert not any(i.is_spin for i in trace.intervals)
+    assert not any(i.is_agent for i in trace.intervals)
+
+
+def test_lpp_boosted_grants_start_the_critical_section_immediately():
+    trace = run_staggered(LppBehavior())
+    for request in trace.requests:
+        # Boosted placement: a granted waiter gets a processor at the grant
+        # instant, so no processor-wait ever stretches the hold time.
+        assert request.finish_time - request.grant_time == pytest.approx(CS_LENGTH)
+
+
+# --------------------------------------------------------------------------- #
+# Spin-occupancy invariant: monitor and trace check on synthetic streams
+# --------------------------------------------------------------------------- #
+def _interval(processor, start, end, *, is_spin=False, task_id=0, resource=None):
+    return ExecutionInterval(
+        processor=processor, start=start, end=end,
+        task_id=task_id, job_id=0, vertex=0,
+        resource=resource, is_spin=is_spin,
+    )
+
+
+def test_monitor_flags_execution_overlapping_an_earlier_spin():
+    monitor = InvariantMonitor()
+    monitor(_interval(0, 0.0, 5.0, is_spin=True))
+    monitor(_interval(0, 3.0, 6.0))
+    assert monitor.spin_exclusivity_violations == 1
+    # The plain processor-exclusivity counter fires too; both feed the total.
+    assert monitor.processor_overlaps == 1
+    assert monitor.violations == 2
+
+
+def test_monitor_flags_a_spin_overlapping_earlier_execution():
+    monitor = InvariantMonitor()
+    monitor(_interval(0, 0.0, 5.0))
+    monitor(_interval(0, 3.0, 6.0, is_spin=True))
+    assert monitor.spin_exclusivity_violations == 1
+
+
+def test_monitor_accepts_disjoint_and_cross_processor_intervals():
+    monitor = InvariantMonitor()
+    monitor(_interval(0, 0.0, 5.0, is_spin=True))
+    monitor(_interval(0, 5.0, 8.0))          # touching is not overlapping
+    monitor(_interval(1, 2.0, 4.0))          # other processor
+    monitor(_interval(1, 6.0, 9.0, is_spin=True))
+    assert monitor.spin_exclusivity_violations == 0
+    assert monitor.violations == 0
+
+
+def test_trace_check_spin_exclusivity_matches_the_monitor():
+    trace = SimulationTrace()
+    trace.add_interval(_interval(0, 0.0, 5.0, is_spin=True))
+    trace.add_interval(_interval(0, 3.0, 6.0))
+    problems = trace.check_spin_exclusivity()
+    assert len(problems) == 1
+    assert "busy-wait" in problems[0]
+    # check_all surfaces it alongside the processor-exclusivity report.
+    assert problems[0] in trace.check_all()
+
+
+def test_trace_check_spin_exclusivity_ignores_clean_schedules():
+    trace = SimulationTrace()
+    trace.add_interval(_interval(0, 0.0, 5.0, is_spin=True))
+    trace.add_interval(_interval(0, 5.0, 8.0))
+    trace.add_interval(_interval(1, 2.0, 4.0))
+    assert trace.check_spin_exclusivity() == []
+
+
+# --------------------------------------------------------------------------- #
+# Cross-protocol soundness: simulated WCRT never exceeds the bound
+# --------------------------------------------------------------------------- #
+BASELINES = [
+    ("DPCP-p-EP", DpcpPEpTest),
+    ("DPCP-p-EN", DpcpPEnTest),
+    ("SPIN", SpinTest),
+    ("LPP", LppTest),
+]
+
+
+def _simulate_accepted(protocol, test_class, seed, horizon_factor=3):
+    """Analyse one random task set; simulate it if accepted.
+
+    Returns ``(result, trace)`` or ``None`` when generation failed or the
+    analysis rejected the set (nothing to validate).
+    """
+    config = tiny_config()
+    try:
+        taskset = generate_taskset(4.0, config, rng=seed)
+    except GenerationError:
+        return None
+    result = test_class().test(taskset, Platform(16))
+    if not result.schedulable or result.partition is None:
+        return None
+    simulator = RuntimeSimulator(result.partition, protocol=behavior_for(protocol))
+    horizon = horizon_factor * max(task.period for task in taskset)
+    simulator.release_periodic_jobs(horizon)
+    return result, simulator.run()
+
+
+@pytest.mark.parametrize("protocol,test_class", BASELINES)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_property_simulation_sound_for_every_baseline(protocol, test_class, seed):
+    """Accepted task sets meet deadlines and stay within the WCRT bound."""
+    outcome = _simulate_accepted(protocol, test_class, seed)
+    if outcome is None:
+        return
+    result, trace = outcome
+    assert trace.deadline_misses() == []
+    assert trace.check_mutual_exclusion() == []
+    assert trace.check_processor_exclusivity() == []
+    assert trace.check_spin_exclusivity() == []
+    for task_id, analysis in result.task_analyses.items():
+        observed = trace.worst_response_time(task_id)
+        if observed is None:
+            continue
+        assert observed <= analysis.wcrt + 1e-6, (
+            f"{protocol}: task {task_id} observed {observed} "
+            f"> bound {analysis.wcrt}"
+        )
+
+
+@pytest.mark.parametrize("protocol,test_class", BASELINES)
+def test_fixed_seed_soundness_for_every_baseline(protocol, test_class):
+    """One deterministic accepted-and-simulated run per baseline."""
+    for seed in range(2020, 2060):
+        outcome = _simulate_accepted(protocol, test_class, seed, horizon_factor=2)
+        if outcome is not None:
+            break
+    else:
+        pytest.fail("no seed in range produced an accepted task set")
+    result, trace = outcome
+    assert trace.deadline_misses() == []
+    assert trace.check_mutual_exclusion() == []
+    assert trace.check_processor_exclusivity() == []
+    assert trace.check_spin_exclusivity() == []
+    for task_id, analysis in result.task_analyses.items():
+        observed = trace.worst_response_time(task_id)
+        if observed is not None:
+            assert observed <= analysis.wcrt + 1e-6
