@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Service quickstart: queries, coalescing, a campaign job, and a report.
+
+Demonstrates the serving layer (see docs/service.md) end to end against an
+*embedded* daemon — the same :class:`repro.service.ServiceDaemon` that
+``python -m repro.service serve`` runs, started in-process on an ephemeral
+loopback port so the example needs no subprocess and works in CI:
+
+1. start the daemon and submit one schedulability query;
+2. resubmit it — the result cache answers byte-identically without
+   re-computing anything;
+3. submit a campaign job and stream its progress push events;
+4. fetch the aggregated report over the wire (``campaign report``'s
+   exit-code semantics, served as a typed message);
+5. shut the daemon down through the protocol.
+
+Run with:  PYTHONPATH=src python examples/service_client.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.campaign.planner import config_to_dict, scenario_to_dict
+from repro.experiments.runner import SweepConfig
+from repro.experiments.scenarios import figure2_scenarios
+from repro.service import (
+    ServiceClient,
+    ServiceDaemon,
+    SubmitCampaign,
+    SubmitQuery,
+)
+
+
+def main() -> None:
+    scenario = figure2_scenarios(num_vertices_range=(5, 10))["a"]
+    data_dir = tempfile.mkdtemp(prefix="repro-service-")
+    daemon = ServiceDaemon(data_dir=data_dir, port=0, workers=2).start()
+    print(f"=== daemon on {daemon.host}:{daemon.port} (data dir {data_dir}) ===")
+    try:
+        with ServiceClient(*daemon.address) as client:
+            print("\n=== 1. one schedulability query ===")
+            query = SubmitQuery(
+                scenario=scenario_to_dict(scenario),
+                utilization=4.0,
+                samples=5,
+                seed=42,
+                protocols=("DPCP-p-EP", "SPIN", "FED-FP"),
+            )
+            accepted, ready = client.query(query)
+            print(f"job {accepted.job_id}: accepted {ready.result['accepted']}"
+                  f" of {ready.result['evaluated']} task sets")
+
+            print("\n=== 2. the identical query again: served from cache ===")
+            repeat, ready_again = client.query(query)
+            print(f"cached={repeat.cached}, "
+                  f"byte-identical={ready.encode() == ready_again.encode()}")
+
+            print("\n=== 3. a campaign job with streamed progress ===")
+            job = client.submit(SubmitCampaign(
+                scenarios=(scenario_to_dict(scenario),),
+                sweep=config_to_dict(SweepConfig(
+                    samples_per_point=2,
+                    utilization_step_fraction=0.25,
+                    seed=2020,
+                )),
+                protocols=("SPIN", "FED-FP"),
+                workers=2,
+            ))
+            for event in client.progress(job.job_id):
+                print(f"  [{event.done}/{event.total}] {event.unit_id}")
+            result = client.wait_result(job.job_id)
+            print(f"campaign exit code {result.exit_code}; store at "
+                  f"{result.result['store_directory']}")
+
+            print("\n=== 4. the aggregated report over the wire ===")
+            report = client.report(job.job_id)
+            for name, rate in sorted(
+                report.report["weighted_acceptance"].items()
+            ):
+                print(f"  {name:10s} weighted acceptance {rate:.3f}")
+
+            print("\n=== 5. typed shutdown ===")
+            farewell = client.shutdown()
+            print(f"daemon stopping ({farewell.jobs_running} jobs running)")
+    finally:
+        daemon.stop(wait_jobs=False)
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,6 @@ for a walk-through.
 from __future__ import annotations
 
 import argparse
-import math
 import os
 import sys
 import time
@@ -47,6 +46,7 @@ from ..sim.validation import SimulationConfig
 from . import faultinject
 from .executor import RetryPolicy, build_protocols, execute_units, plan_runner
 from .merge import merge_stores
+from .progress import ProgressPrinter
 from .planner import (
     CAMPAIGN_MODES,
     KNOWN_PROTOCOLS,
@@ -380,65 +380,6 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-# --------------------------------------------------------------------------- #
-# Progress reporting
-# --------------------------------------------------------------------------- #
-class _ProgressPrinter:
-    """Progress/ETA/throughput reporter writing to stderr.
-
-    On an interactive terminal the single status line is redrawn in place
-    (carriage return, no newline).  On a non-TTY stream — CI logs, files,
-    pipes — redrawing would interleave control characters into the log, so
-    the printer falls back to periodic plain lines instead: one full line
-    every :data:`PLAIN_INTERVAL` seconds plus a final one.
-    """
-
-    #: Minimum seconds between plain progress lines on non-TTY streams.
-    PLAIN_INTERVAL = 5.0
-
-    def __init__(self, stream=None) -> None:
-        self.stream = stream if stream is not None else sys.stderr
-        self.started = time.monotonic()
-        self.executed = 0
-        self.restored = 0
-        isatty = getattr(self.stream, "isatty", None)
-        self.interactive = bool(isatty()) if callable(isatty) else False
-        self._last_plain = -math.inf
-
-    def __call__(self, done: int, total: int, result) -> None:
-        if result is None:
-            self.restored = done
-        else:
-            self.executed += 1
-        elapsed = time.monotonic() - self.started
-        remaining = total - done
-        if self.executed and remaining:
-            eta = f"{elapsed / self.executed * remaining:7.1f}s"
-        else:
-            eta = "      ?" if remaining else "   done"
-        rate = self.executed / elapsed if elapsed > 0 else 0.0
-        percent = 100.0 * done / total if total else 100.0
-        label = result.unit_id if result is not None else "(restored from store)"
-        line = (
-            f"[{done}/{total}] {percent:5.1f}%  elapsed {elapsed:7.1f}s  "
-            f"eta {eta}  {rate:6.2f} units/s  {label:<42.42s}"
-        )
-        if self.interactive:
-            self.stream.write("\r" + line)
-        else:
-            now = time.monotonic()
-            if remaining and now - self._last_plain < self.PLAIN_INTERVAL:
-                return
-            self._last_plain = now
-            self.stream.write(line.rstrip() + "\n")
-        self.stream.flush()
-
-    def finish(self) -> None:
-        if self.interactive:
-            self.stream.write("\n")
-            self.stream.flush()
-
-
 def _execute(
     plan: CampaignPlan,
     store: CampaignStore,
@@ -457,7 +398,7 @@ def _execute(
         # so every worker sees the same plan (docs/robustness.md).
         os.environ[faultinject.ENV_VAR] = args.fault_plan
     retry = RetryPolicy(max_attempts=args.max_attempts)
-    printer = None if args.quiet else _ProgressPrinter()
+    printer = None if args.quiet else ProgressPrinter()
     telemetry = not getattr(args, "no_telemetry", False)
     sink = EventSink(store.directory) if telemetry else None
     started_at = time.monotonic()

@@ -1,0 +1,181 @@
+"""Progress tracking and rendering, shared by the CLI and the service.
+
+The campaign CLI used to own one monolithic progress printer whose line
+format assumed a live TTY: every label was padded *and truncated* to a
+fixed 42-column field so the carriage-return redraw would cleanly
+overwrite the previous line.  On non-TTY streams (CI logs, pipes) — and
+in the serving layer, which has no terminal at all — that sizing is pure
+loss: CI logs got unit ids silently cut off, and the daemon could not
+reuse the ETA arithmetic without dragging a terminal assumption along.
+
+This module splits the two concerns:
+
+* :class:`ProgressTracker` — the headless core: completion counts,
+  elapsed/ETA/rate arithmetic, and a plain single-line rendering with
+  **no** terminal sizing.  The service daemon feeds its numbers straight
+  into ``ProgressEvent``/``JobStatus`` messages.
+* :class:`ProgressPrinter` — the CLI front-end: interactive streams get
+  the in-place redraw with the classic fixed-width label field;
+  non-interactive streams get periodic plain lines with the *full* label
+  (the regression test in ``tests/campaign/test_campaign_cli.py`` pins
+  this).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from typing import Optional
+
+#: Label field width of the interactive (TTY) progress line.  Only the
+#: interactive redraw pads/truncates to it — a plain log line never should.
+TTY_LABEL_WIDTH = 42
+
+
+class ProgressTracker:
+    """Headless progress state: counts, elapsed, ETA, throughput.
+
+    The tracker distinguishes *executed* units (new compute, which drives
+    the ETA) from *restored* ones (replayed from a store on resume, which
+    must not make the remaining work look faster than it is).
+    """
+
+    def __init__(self, total: int = 0, clock=time.monotonic) -> None:
+        self._clock = clock
+        self.started = clock()
+        self.total = int(total)
+        self.done = 0
+        self.executed = 0
+        self.restored = 0
+
+    def update(self, done: int, total: int, restored: bool = False) -> None:
+        """Fold one progress callback: ``done`` of ``total`` units finished.
+
+        ``restored=True`` marks a unit replayed from the store (the
+        executor's progress callback passes ``result=None`` for those).
+        """
+        self.done = int(done)
+        self.total = int(total)
+        if restored:
+            self.restored = done
+        else:
+            self.executed += 1
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the tracker was created."""
+        return self._clock() - self.started
+
+    @property
+    def remaining(self) -> int:
+        """Units not yet finished."""
+        return max(0, self.total - self.done)
+
+    @property
+    def percent(self) -> float:
+        """Completion percentage (100.0 for an empty total)."""
+        return 100.0 * self.done / self.total if self.total else 100.0
+
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds to completion, or ``None`` when unknowable.
+
+        The estimate extrapolates the mean wall-clock cost of the units
+        *executed this run* — restored units carry no timing signal.
+        Returns ``0.0`` when nothing remains and ``None`` before the first
+        executed unit.
+        """
+        if not self.remaining:
+            return 0.0
+        if not self.executed:
+            return None
+        return self.elapsed / self.executed * self.remaining
+
+    def rate(self) -> float:
+        """Executed units per second this run (0.0 before any timing)."""
+        elapsed = self.elapsed
+        return self.executed / elapsed if elapsed > 0 else 0.0
+
+    def line(self, label: str = "") -> str:
+        """One plain progress line with no terminal sizing applied.
+
+        ``label`` (typically a unit id) is appended verbatim — never
+        padded, never truncated — so logs keep full identifiers.
+        """
+        eta = self.eta_seconds()
+        if eta is None:
+            eta_text = "?"
+        elif not self.remaining:
+            eta_text = "done"
+        else:
+            eta_text = f"{eta:.1f}s"
+        parts = [
+            f"[{self.done}/{self.total}]",
+            f"{self.percent:5.1f}%",
+            f"elapsed {self.elapsed:7.1f}s",
+            f"eta {eta_text}",
+            f"{self.rate():6.2f} units/s",
+        ]
+        if label:
+            parts.append(label)
+        return "  ".join(parts)
+
+
+class ProgressPrinter:
+    """Progress/ETA/throughput reporter writing to stderr.
+
+    On an interactive terminal the single status line is redrawn in place
+    (carriage return, no newline) with the label padded and truncated to
+    :data:`TTY_LABEL_WIDTH` columns so redraws overwrite cleanly.  On a
+    non-TTY stream — CI logs, files, pipes — redrawing would interleave
+    control characters into the log, so the printer falls back to periodic
+    plain lines instead (one full line every :data:`PLAIN_INTERVAL`
+    seconds plus a final one), rendered by
+    :meth:`ProgressTracker.line` with the full, untruncated label.
+    """
+
+    #: Minimum seconds between plain progress lines on non-TTY streams.
+    PLAIN_INTERVAL = 5.0
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.tracker = ProgressTracker()
+        isatty = getattr(self.stream, "isatty", None)
+        self.interactive = bool(isatty()) if callable(isatty) else False
+        self._last_plain = -math.inf
+
+    def __call__(self, done: int, total: int, result) -> None:
+        """Executor progress callback: fold one update and maybe print."""
+        self.tracker.update(done, total, restored=result is None)
+        label = result.unit_id if result is not None else "(restored from store)"
+        if self.interactive:
+            eta = self.tracker.eta_seconds()
+            if eta is None:
+                eta_text = "      ?"
+            elif not self.tracker.remaining:
+                eta_text = "   done"
+            else:
+                eta_text = f"{eta:7.1f}s"
+            line = (
+                f"[{done}/{total}] {self.tracker.percent:5.1f}%  "
+                f"elapsed {self.tracker.elapsed:7.1f}s  eta {eta_text}  "
+                f"{self.tracker.rate():6.2f} units/s  "
+                f"{label:<{TTY_LABEL_WIDTH}.{TTY_LABEL_WIDTH}s}"
+            )
+            self.stream.write("\r" + line)
+        else:
+            now = time.monotonic()
+            if (
+                self.tracker.remaining
+                and now - self._last_plain < self.PLAIN_INTERVAL
+            ):
+                return
+            self._last_plain = now
+            self.stream.write(self.tracker.line(label) + "\n")
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Terminate the interactive status line (no-op on plain streams)."""
+        if self.interactive:
+            self.stream.write("\n")
+            self.stream.flush()

@@ -29,6 +29,9 @@ from .events import (
     CampaignFinished,
     CampaignStarted,
     Event,
+    JobAdmitted,
+    JobFinished,
+    ServiceStarted,
     SimTruncated,
     SolveStats,
     UnitFinished,
@@ -49,7 +52,10 @@ __all__ = [
     "CampaignStarted",
     "Event",
     "EventSink",
+    "JobAdmitted",
+    "JobFinished",
     "ScalarSolveStats",
+    "ServiceStarted",
     "SimTruncated",
     "SolveStats",
     "Telemetry",

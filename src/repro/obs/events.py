@@ -5,8 +5,9 @@ keyed by a stable type name), every observable campaign occurrence is its
 own dataclass: :class:`CampaignStarted`, :class:`UnitStarted`,
 :class:`UnitFinished`, :class:`UnitTelemetry`, :class:`SolveStats`,
 :class:`SimTruncated`, :class:`CacheStats`, :class:`CampaignFinished`,
-and the fault-tolerance trio :class:`PoolCrashed`, :class:`UnitRetried`,
-:class:`UnitQuarantined`.
+the fault-tolerance trio :class:`PoolCrashed`, :class:`UnitRetried`,
+:class:`UnitQuarantined`, and the service-daemon trio
+:class:`ServiceStarted`, :class:`JobAdmitted`, :class:`JobFinished`.
 Events are pure immutable payloads; the *envelope* — monotonic sequence
 number and wall-clock timestamp — is stamped by
 :class:`repro.obs.sink.EventSink` when a record is appended to
@@ -230,6 +231,53 @@ class UnitQuarantined(Event):
     error_kind: str
     attempts: int
     error_message: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class ServiceStarted(Event):
+    """The analysis service daemon began accepting connections."""
+
+    TYPE = "service_started"
+
+    host: str
+    port: int
+    workers: int
+    data_dir: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class JobAdmitted(Event):
+    """The service admitted one submitted job (query or campaign).
+
+    ``coalesced`` marks a submission folded into an identical in-flight
+    job (one execution serves several clients); ``cached`` marks a repeat
+    served straight from the result cache without any execution.
+    ``queue_depth`` is the admission-queue depth observed at submission —
+    the signal the coalescing batcher exists to exploit.
+    """
+
+    TYPE = "job_admitted"
+
+    job_id: str
+    kind: str
+    coalesced: bool = False
+    cached: bool = False
+    queue_depth: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class JobFinished(Event):
+    """A service job reached a terminal state (``done`` or ``failed``)."""
+
+    TYPE = "job_finished"
+
+    job_id: str
+    state: str
+    exit_code: int = 0
+    elapsed_seconds: float = 0.0
 
 
 @_register

@@ -1,0 +1,90 @@
+"""Command-line entry point of the analysis service (``python -m repro.service``).
+
+Two subcommands:
+
+* ``serve`` — run the daemon in the foreground until interrupted;
+* ``protocol`` — print the generated protocol reference (the exact
+  markdown block embedded in ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..obs.log import LOG_LEVELS, configure_logging
+from .daemon import ServiceDaemon
+from .messages import render_protocol_reference
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The service CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Schedulability-analysis service daemon.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run the daemon in the foreground until interrupted"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7667,
+        help="TCP port (0 binds an ephemeral port; default: 7667)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker-pool width for concurrent jobs (default: 2)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory for durable job stores and the service events.jsonl",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=sorted(LOG_LEVELS),
+        default="info",
+        help="log verbosity (default: info)",
+    )
+
+    sub.add_parser(
+        "protocol",
+        help="print the generated protocol reference (markdown)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the service CLI; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "protocol":
+        print(render_protocol_reference())
+        return 0
+    configure_logging(args.log_level)
+    daemon = ServiceDaemon(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+    )
+    print(f"listening on {daemon.host}:{daemon.port}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop(wait_jobs=False)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Line-oriented client for the analysis service daemon.
+
+:class:`ServiceClient` speaks the typed NDJSON protocol of
+:mod:`repro.service.messages` over one TCP connection: :meth:`send` writes
+a message as a frame, :meth:`recv` reads and decodes the next one, and the
+convenience calls (:meth:`query`, :meth:`campaign`, :meth:`wait_result`)
+wrap the common submit-then-wait conversations.  Push events that arrive
+while waiting for something else are buffered in order, so interleaved
+progress streams never desynchronise a request/reply exchange.
+
+The client is also the service's in-process test fixture: point it at an
+embedded :class:`~repro.service.daemon.ServiceDaemon` bound to an
+ephemeral port and drive the full protocol without any subprocess.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterator, List, Optional, Tuple, Type
+
+from .messages import (
+    ErrorReply,
+    GetReport,
+    GetStats,
+    GetStatus,
+    JobAccepted,
+    JobStatus,
+    Message,
+    ProgressEvent,
+    ReportReady,
+    ResultReady,
+    Shutdown,
+    ShuttingDown,
+    StatsReply,
+    SubmitCampaign,
+    SubmitQuery,
+    decode_frame,
+)
+
+
+class ServiceClientError(RuntimeError):
+    """The conversation broke: unexpected EOF or an unusable reply."""
+
+
+class ServiceClient:
+    """One typed connection to a running service daemon.
+
+    Usable as a context manager; :meth:`close` is idempotent.  All blocking
+    reads honour ``timeout`` (seconds; ``None`` blocks forever).
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rb")
+        self._pending: List[Message] = []
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the connected client itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection (idempotent; never raises)."""
+        for closer in (self._file.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Raw protocol
+    # ------------------------------------------------------------------ #
+    def send(self, message: Message) -> None:
+        """Write one message as a single NDJSON frame."""
+        self._sock.sendall(message.encode())
+
+    def recv(self) -> Message:
+        """The next message from the daemon (buffered pushes first)."""
+        if self._pending:
+            return self._pending.pop(0)
+        line = self._file.readline()
+        if not line:
+            raise ServiceClientError("connection closed by the daemon")
+        return decode_frame(line)
+
+    def recv_until(self, *types: Type[Message]) -> Message:
+        """Read until a message of one of ``types`` arrives.
+
+        Everything else received on the way (progress pushes, results of
+        other jobs on a shared connection) is buffered in arrival order
+        for later :meth:`recv` calls.
+        """
+        buffered: List[Message] = []
+        try:
+            while True:
+                message = self.recv()
+                if isinstance(message, types):
+                    return message
+                buffered.append(message)
+        finally:
+            self._pending = buffered + self._pending
+
+    # ------------------------------------------------------------------ #
+    # Conversations
+    # ------------------------------------------------------------------ #
+    def submit(self, message: Message) -> Message:
+        """Submit a job and return the daemon's admission reply."""
+        self.send(message)
+        return self.recv_until(JobAccepted)
+
+    def wait_result(self, job_id: str) -> ResultReady:
+        """Block until the :class:`ResultReady` of ``job_id`` arrives.
+
+        Messages of other jobs arriving first are buffered in order.
+        """
+        buffered: List[Message] = []
+        try:
+            while True:
+                message = self.recv()
+                if isinstance(message, ResultReady) and message.job_id == job_id:
+                    return message
+                buffered.append(message)
+        finally:
+            self._pending = buffered + self._pending
+
+    def query(self, message: SubmitQuery) -> Tuple[JobAccepted, ResultReady]:
+        """Submit one query and wait for its result."""
+        accepted = self.submit(message)
+        if not isinstance(accepted, JobAccepted):
+            raise ServiceClientError(f"query rejected: {accepted}")
+        return accepted, self.wait_result(accepted.job_id)
+
+    def campaign(
+        self, message: SubmitCampaign
+    ) -> Tuple[JobAccepted, ResultReady]:
+        """Submit one campaign job and wait for its terminal result."""
+        accepted = self.submit(message)
+        if not isinstance(accepted, JobAccepted):
+            raise ServiceClientError(f"campaign rejected: {accepted}")
+        return accepted, self.wait_result(accepted.job_id)
+
+    def progress(self, job_id: str) -> Iterator[ProgressEvent]:
+        """Yield progress pushes of ``job_id`` until its result arrives.
+
+        The terminating :class:`ResultReady` is buffered for a subsequent
+        :meth:`wait_result` call.
+        """
+        while True:
+            message = self.recv_until(ProgressEvent, ResultReady)
+            if isinstance(message, ResultReady):
+                self._pending.insert(0, message)
+                return
+            if message.job_id == job_id:
+                yield message
+
+    def status(self, job_id: str) -> Message:
+        """Request the :class:`~repro.service.messages.JobStatus` of a job."""
+        self.send(GetStatus(job_id=job_id))
+        return self.recv_until(JobStatus, ErrorReply)
+
+    def stats(self) -> StatsReply:
+        """Request the service counters."""
+        self.send(GetStats())
+        reply = self.recv_until(StatsReply)
+        assert isinstance(reply, StatsReply)
+        return reply
+
+    def report(self, job_id: str) -> Message:
+        """Request the cached report aggregate of a campaign job."""
+        self.send(GetReport(job_id=job_id))
+        return self.recv_until(ReportReady, ErrorReply)
+
+    def shutdown(self) -> ShuttingDown:
+        """Ask the daemon to stop; returns its farewell."""
+        self.send(Shutdown())
+        reply = self.recv_until(ShuttingDown)
+        assert isinstance(reply, ShuttingDown)
+        return reply

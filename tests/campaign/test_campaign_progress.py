@@ -1,0 +1,156 @@
+"""Regression tests of the factored progress layer: the headless tracker's
+ETA semantics and the printer's two output modes — most importantly that
+non-TTY streams get full untruncated labels and no carriage returns."""
+
+from __future__ import annotations
+
+import io
+
+from repro.campaign.executor import UnitResult
+from repro.campaign.progress import (
+    TTY_LABEL_WIDTH,
+    ProgressPrinter,
+    ProgressTracker,
+)
+
+#: A unit id longer than the TTY label field: truncating it loses data.
+LONG_UNIT_ID = (
+    "m16-nr8_8-U0.75-pr0.5-N1_3-L1_100-v50_100-e0.2:p07-and-then-some"
+)
+assert len(LONG_UNIT_ID) > TTY_LABEL_WIDTH
+
+
+def _result(unit_id: str) -> UnitResult:
+    return UnitResult(
+        unit_id=unit_id,
+        scenario_id=unit_id.split(":")[0],
+        point_index=0,
+        utilization=4.0,
+    )
+
+
+class _Clock:
+    """A deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class _TTYStream(io.StringIO):
+    """A StringIO that claims to be a terminal."""
+
+    def isatty(self) -> bool:
+        return True
+
+
+# --------------------------------------------------------------------------- #
+# ProgressTracker: the headless arithmetic the service reuses
+# --------------------------------------------------------------------------- #
+def test_eta_is_unknown_before_the_first_executed_unit():
+    tracker = ProgressTracker(total=4, clock=_Clock())
+    assert tracker.eta_seconds() is None
+    tracker.update(1, 4, restored=True)
+    # Restored units carry no timing signal: the ETA stays unknown.
+    assert tracker.eta_seconds() is None
+
+
+def test_eta_extrapolates_executed_unit_cost_only():
+    clock = _Clock()
+    tracker = ProgressTracker(total=4, clock=clock)
+    tracker.update(1, 4, restored=True)  # replayed from the store: free
+    clock.now += 10.0
+    tracker.update(2, 4)  # one executed unit took 10s
+    assert tracker.eta_seconds() == 20.0  # two remaining at 10s apiece
+    assert tracker.rate() == 0.1
+    clock.now += 10.0
+    tracker.update(3, 4)
+    assert tracker.eta_seconds() == 10.0
+
+
+def test_eta_is_zero_once_nothing_remains():
+    clock = _Clock()
+    tracker = ProgressTracker(total=1, clock=clock)
+    clock.now += 2.0
+    tracker.update(1, 1)
+    assert tracker.eta_seconds() == 0.0
+    assert tracker.percent == 100.0
+    assert tracker.remaining == 0
+
+
+def test_plain_line_keeps_the_full_label():
+    clock = _Clock()
+    tracker = ProgressTracker(total=8, clock=clock)
+    clock.now += 4.0
+    tracker.update(2, 8)
+    line = tracker.line(LONG_UNIT_ID)
+    assert LONG_UNIT_ID in line  # verbatim: no padding, no truncation
+    assert line.startswith("[2/8]")
+    assert " 25.0%" in line
+    assert "\r" not in line
+
+
+# --------------------------------------------------------------------------- #
+# ProgressPrinter: non-TTY output is plain, periodic, and untruncated
+# --------------------------------------------------------------------------- #
+def test_non_tty_output_has_full_labels_and_no_carriage_returns():
+    stream = io.StringIO()  # isatty() -> False
+    printer = ProgressPrinter(stream=stream)
+    assert not printer.interactive
+    printer(1, 2, _result(LONG_UNIT_ID))
+    printer(2, 2, _result("tiny:p00"))
+    printer.finish()
+    out = stream.getvalue()
+    # The regression this file exists for: CI logs used to get unit ids
+    # silently cut to the TTY field width and interleaved with \r redraws.
+    assert LONG_UNIT_ID in out
+    assert "\r" not in out
+    lines = [line for line in out.splitlines() if line]
+    assert all(line.startswith("[") for line in lines)
+    # finish() adds nothing on plain streams (no dangling redraw to end).
+    assert out.endswith("\n")
+
+
+def test_non_tty_output_is_rate_limited_but_always_prints_the_last_unit():
+    stream = io.StringIO()
+    printer = ProgressPrinter(stream=stream)
+    for done in range(1, 10):
+        printer(done, 10, _result(f"unit:p{done:02d}"))
+    printer(10, 10, _result("unit:p10"))
+    lines = stream.getvalue().splitlines()
+    # Burst updates collapse onto the interval: the first callback prints,
+    # the following sub-interval ones are swallowed, the final one always
+    # lands so logs end on the true completion state.
+    assert lines[0].startswith("[1/10]")
+    assert lines[-1].startswith("[10/10]")
+    assert len(lines) == 2
+
+
+def test_tty_output_redraws_in_place_with_the_classic_fixed_field():
+    stream = _TTYStream()
+    printer = ProgressPrinter(stream=stream)
+    assert printer.interactive
+    printer(1, 2, _result(LONG_UNIT_ID))
+    printer(2, 2, _result("tiny:p00"))
+    printer.finish()
+    out = stream.getvalue()
+    # In-place redraw: every status line is preceded by a carriage return
+    # and the label is padded/truncated to the fixed field so the next
+    # redraw cleanly overwrites it.
+    assert out.count("\r") == 2
+    assert LONG_UNIT_ID[:TTY_LABEL_WIDTH] in out
+    assert LONG_UNIT_ID not in out
+    padded = f"{'tiny:p00':<{TTY_LABEL_WIDTH}s}"
+    assert padded in out
+    assert out.endswith("\n")  # finish() terminates the status line
+
+
+def test_restored_units_are_labelled_as_such_on_plain_streams():
+    stream = io.StringIO()
+    printer = ProgressPrinter(stream=stream)
+    printer(1, 2, None)  # the executor passes result=None for restores
+    out = stream.getvalue()
+    assert "(restored from store)" in out
+    assert "eta ?" in out  # restores carry no timing signal

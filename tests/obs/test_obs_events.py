@@ -9,7 +9,10 @@ from repro.obs.events import (
     CacheStats,
     CampaignFinished,
     CampaignStarted,
+    JobAdmitted,
+    JobFinished,
     PoolCrashed,
+    ServiceStarted,
     SimTruncated,
     SolveStats,
     UnitFinished,
@@ -51,6 +54,11 @@ SAMPLES = [
         attempts=3,
         error_message="worker process died while executing this unit",
     ),
+    ServiceStarted(
+        host="127.0.0.1", port=7667, workers=2, data_dir="/tmp/svc"
+    ),
+    JobAdmitted(job_id="q-abc123", kind="query", coalesced=True, queue_depth=3),
+    JobFinished(job_id="q-abc123", state="done", exit_code=0, elapsed_seconds=0.5),
     CampaignFinished(completed=8, total=8, elapsed_seconds=1.5),
 ]
 

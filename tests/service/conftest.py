@@ -1,0 +1,91 @@
+"""Shared fixtures of the service test suite: an in-process daemon and
+tiny fixed-seed submissions that keep every test fast and deterministic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.planner import config_to_dict, plan_campaign, scenario_to_dict
+from repro.experiments.runner import SweepConfig
+from repro.experiments.scenarios import Scenario
+from repro.service import ServiceClient, ServiceDaemon, SubmitCampaign, SubmitQuery
+
+#: A deliberately tiny scenario: small platform, few vertices, cheap analysis.
+TINY_SCENARIO = Scenario(
+    platform_size=8,
+    resource_count_range=(2, 3),
+    average_utilization=0.5,
+    access_probability=0.3,
+    request_count_range=(1, 3),
+    cs_length_range=(1, 15),
+    num_vertices_range=(6, 10),
+    edge_probability=0.1,
+)
+
+#: The cheap sweep every campaign test uses: 2 points x 2 samples.
+TINY_SWEEP = SweepConfig(
+    samples_per_point=2, utilization_step_fraction=0.25, seed=7
+)
+
+
+def _tiny_query(seed: int = 42, utilization: float = 2.0) -> SubmitQuery:
+    """One fixed-seed query over the tiny scenario."""
+    return SubmitQuery(
+        scenario=scenario_to_dict(TINY_SCENARIO),
+        utilization=utilization,
+        samples=2,
+        seed=seed,
+        protocols=("SPIN", "FED-FP"),
+    )
+
+
+def _tiny_campaign(workers: int = 1, max_attempts: int = 3) -> SubmitCampaign:
+    """One fixed-seed campaign job over the tiny scenario (4 units)."""
+    return SubmitCampaign(
+        scenarios=(scenario_to_dict(TINY_SCENARIO),),
+        sweep=config_to_dict(TINY_SWEEP),
+        protocols=("SPIN", "FED-FP"),
+        workers=workers,
+        max_attempts=max_attempts,
+    )
+
+
+@pytest.fixture
+def tiny_query():
+    """Factory fixture: fixed-seed queries over the tiny scenario."""
+    return _tiny_query
+
+
+@pytest.fixture
+def tiny_campaign():
+    """Factory fixture: fixed-seed campaign submissions (4 work units)."""
+    return _tiny_campaign
+
+
+@pytest.fixture
+def tiny_plan():
+    """The campaign plan behind the tiny submissions (unit ids and all)."""
+    return plan_campaign([TINY_SCENARIO], TINY_SWEEP, ["SPIN", "FED-FP"])
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """An in-process service daemon on an ephemeral loopback port."""
+    service = ServiceDaemon(data_dir=str(tmp_path / "svc"), workers=2).start()
+    yield service
+    service.stop(wait_jobs=False)
+
+
+@pytest.fixture
+def connect(daemon):
+    """Factory opening typed client connections to the test daemon."""
+    clients = []
+
+    def _connect() -> ServiceClient:
+        client = ServiceClient(*daemon.address, timeout=120.0)
+        clients.append(client)
+        return client
+
+    yield _connect
+    for client in clients:
+        client.close()

@@ -1,0 +1,231 @@
+"""Property tests of the service wire protocol: every registered message type
+round-trips through its frame, tolerates unknown fields, reports version
+mismatches as typed errors, and never lets a malformed frame crash the
+decoder."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.messages import (
+    DIRECTION_EVENT,
+    DIRECTION_REPLY,
+    DIRECTION_REQUEST,
+    ENVELOPE_KEYS,
+    ERR_INVALID,
+    ERR_MALFORMED,
+    ERR_UNKNOWN_TYPE,
+    ERR_VERSION,
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    ErrorReply,
+    Message,
+    ProtocolError,
+    SubmitQuery,
+    decode_frame,
+    render_protocol_reference,
+)
+
+# --------------------------------------------------------------------------- #
+# Strategies: build instances of every registered type from its dataclass
+# fields, so newly added message types are covered automatically.
+# --------------------------------------------------------------------------- #
+_JSON_SCALARS = (
+    st.integers(-10**6, 10**6)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=8)
+    | st.booleans()
+)
+_JSON_DICTS = st.dictionaries(st.text(max_size=8), _JSON_SCALARS, max_size=4)
+
+#: Field-annotation string → value strategy.  ``from __future__ import
+#: annotations`` keeps the annotations as strings, which is exactly what we
+#: match on.
+_FIELD_STRATEGIES = {
+    "str": st.text(max_size=16),
+    "int": st.integers(-10**6, 10**6),
+    "float": st.floats(allow_nan=False, allow_infinity=False, width=32),
+    "bool": st.booleans(),
+    "Tuple[str, ...]": st.lists(st.text(max_size=8), max_size=4).map(tuple),
+    "Dict[str, Any]": _JSON_DICTS,
+    "Tuple[Dict[str, Any], ...]": st.lists(_JSON_DICTS, max_size=3).map(tuple),
+}
+
+
+def _message_strategy(cls):
+    """A strategy building instances of one message dataclass."""
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        annotation = str(field.type)
+        if annotation not in _FIELD_STRATEGIES:
+            raise AssertionError(
+                f"{cls.__name__}.{field.name} has unsupported annotation "
+                f"{annotation!r}; teach _FIELD_STRATEGIES about it"
+            )
+        kwargs[field.name] = _FIELD_STRATEGIES[annotation]
+    return st.builds(cls, **kwargs)
+
+
+_ANY_MESSAGE = st.sampled_from(sorted(MESSAGE_TYPES)).flatmap(
+    lambda name: _message_strategy(MESSAGE_TYPES[name])
+)
+
+
+# --------------------------------------------------------------------------- #
+# Registry invariants
+# --------------------------------------------------------------------------- #
+def test_registry_covers_every_type_once():
+    assert MESSAGE_TYPES, "no message types registered"
+    for name, cls in MESSAGE_TYPES.items():
+        assert cls.TYPE == name
+        assert cls.DIRECTION in (
+            DIRECTION_REQUEST,
+            DIRECTION_REPLY,
+            DIRECTION_EVENT,
+        )
+        assert cls.__doc__, f"{cls.__name__} lacks a docstring"
+        assert dataclasses.is_dataclass(cls)
+        # Frozen: messages are values.
+        assert cls.__dataclass_params__.frozen
+
+
+def test_no_payload_field_shadows_the_envelope():
+    for cls in MESSAGE_TYPES.values():
+        names = {field.name for field in dataclasses.fields(cls)}
+        assert not names.intersection(ENVELOPE_KEYS), cls.__name__
+
+
+def test_protocol_reference_mentions_every_type_and_error_code():
+    reference = render_protocol_reference()
+    for name in MESSAGE_TYPES:
+        assert f"`{name}`" in reference
+    for code in (ERR_MALFORMED, ERR_VERSION, ERR_UNKNOWN_TYPE, ERR_INVALID):
+        assert code in reference
+    assert str(PROTOCOL_VERSION) in reference
+
+
+# --------------------------------------------------------------------------- #
+# Round-trip identity
+# --------------------------------------------------------------------------- #
+@settings(max_examples=200, deadline=None)
+@given(message=_ANY_MESSAGE)
+def test_encode_decode_identity(message):
+    decoded = decode_frame(message.encode())
+    assert type(decoded) is type(message)
+    assert decoded == message
+
+
+@settings(max_examples=100, deadline=None)
+@given(message=_ANY_MESSAGE)
+def test_encoding_is_canonical_one_line(message):
+    data = message.encode()
+    assert data.endswith(b"\n")
+    assert data.count(b"\n") == 1
+    # Equal messages encode to byte-identical frames (the property the
+    # coalescing end-to-end guarantees ride on).
+    assert data == decode_frame(data).encode()
+
+
+@settings(max_examples=100, deadline=None)
+@given(message=_ANY_MESSAGE, extra=_JSON_SCALARS)
+def test_unknown_fields_are_tolerated(message, extra):
+    frame = message.to_frame()
+    frame["field_from_the_future"] = extra
+    decoded = decode_frame(json.dumps(frame))
+    assert decoded == message
+
+
+# --------------------------------------------------------------------------- #
+# Typed decode errors
+# --------------------------------------------------------------------------- #
+@settings(max_examples=100, deadline=None)
+@given(message=_ANY_MESSAGE, version=st.integers(-5, 50) | st.none())
+def test_version_mismatch_is_a_typed_error(message, version):
+    if version == PROTOCOL_VERSION:
+        version = PROTOCOL_VERSION + 1
+    frame = message.to_frame()
+    frame["v"] = version
+    with pytest.raises(ProtocolError) as caught:
+        decode_frame(json.dumps(frame))
+    assert caught.value.code == ERR_VERSION
+
+
+def test_version_check_precedes_type_lookup():
+    # A newer peer's unknown type with a newer version must diagnose the
+    # version, not the type.
+    frame = {"type": "message_from_the_future", "v": PROTOCOL_VERSION + 1}
+    with pytest.raises(ProtocolError) as caught:
+        decode_frame(json.dumps(frame))
+    assert caught.value.code == ERR_VERSION
+
+
+def test_unknown_type_is_a_typed_error():
+    frame = {"type": "no_such_message", "v": PROTOCOL_VERSION}
+    with pytest.raises(ProtocolError) as caught:
+        decode_frame(json.dumps(frame))
+    assert caught.value.code == ERR_UNKNOWN_TYPE
+
+
+def test_missing_required_fields_are_invalid_payload():
+    frame = {"type": "get_status", "v": PROTOCOL_VERSION}
+    with pytest.raises(ProtocolError) as caught:
+        decode_frame(json.dumps(frame))
+    assert caught.value.code == ERR_INVALID
+
+
+@pytest.mark.parametrize(
+    "data",
+    [b"", b"\n", b"not json", b"[1, 2]", b'"a string"', b"42", b"\xff\xfe\x00"],
+)
+def test_malformed_frames_are_typed_errors(data):
+    with pytest.raises(ProtocolError) as caught:
+        decode_frame(data)
+    assert caught.value.code == ERR_MALFORMED
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_decoder_never_crashes_on_arbitrary_bytes(data):
+    try:
+        decoded = decode_frame(data)
+    except ProtocolError:
+        return  # the only exception the decoder may raise
+    assert isinstance(decoded, Message)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.text(max_size=200))
+def test_decoder_never_crashes_on_arbitrary_text(data):
+    try:
+        decoded = decode_frame(data)
+    except ProtocolError:
+        return
+    assert isinstance(decoded, Message)
+
+
+def test_protocol_error_maps_onto_error_reply():
+    try:
+        decode_frame(b"not json")
+    except ProtocolError as error:
+        reply = ErrorReply(code=error.code, message=str(error))
+    assert reply.code == ERR_MALFORMED
+    echoed = decode_frame(reply.encode())
+    assert echoed == reply
+
+
+def test_tuple_fields_round_trip_as_tuples():
+    message = SubmitQuery(
+        scenario={"platform_size": 8},
+        utilization=2.0,
+        samples=4,
+        seed=1,
+        protocols=("SPIN", "FED-FP"),
+    )
+    decoded = decode_frame(message.encode())
+    assert decoded.protocols == ("SPIN", "FED-FP")
+    assert isinstance(decoded.protocols, tuple)
